@@ -1,0 +1,24 @@
+"""E4 — graceful degradation under supplier failures (Section 3.4).
+
+Shape that must hold: delivered quality orders static < rebind < degrading,
+and the degradation manager has the least outage — the middleware "tools to
+deal with fault tolerance" earn their keep.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table
+from repro.experiments.exp_degradation import run
+
+
+def test_graceful_degradation(benchmark):
+    rows = benchmark.pedantic(run, rounds=3, iterations=1)
+    emit(format_table(rows, "E4: delivered quality while suppliers die"))
+    by_policy = {row["policy"]: row for row in rows}
+    assert (by_policy["static"]["mean_quality"]
+            < by_policy["rebind"]["mean_quality"]
+            < by_policy["degrading"]["mean_quality"])
+    assert (by_policy["degrading"]["outage_s"]
+            <= by_policy["rebind"]["outage_s"]
+            <= by_policy["static"]["outage_s"])
+    assert by_policy["degrading"]["final_level"] > 0  # it did degrade

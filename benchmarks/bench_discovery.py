@@ -1,0 +1,43 @@
+"""E2 — discovery modes vs network size and churn (Section 3.3).
+
+Shape that must hold (and is asserted): the distributed mode's message
+overhead grows much faster with network size than the centralized mode's,
+and under churn the advertisement cache trades staleness for locality —
+exactly the "depends on the size of the network, the communication
+overhead ... and how frequently the available components change" claim.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table
+from repro.experiments.exp_discovery import run
+
+
+def test_discovery_modes(benchmark):
+    rows = benchmark.pedantic(
+        run, kwargs={"sizes": (10, 30), "churn_rates": (0.0, 0.02)},
+        rounds=1, iterations=1,
+    )
+    emit(format_table(rows, "E2: discovery mode x size x churn"))
+
+    def pick(mode, suppliers, churn):
+        return next(
+            r for r in rows
+            if r["mode"] == mode and r["suppliers"] == suppliers
+            and r["churn_per_s"] == churn
+        )
+
+    # Overhead: flooding blows up with size, the directory does not.
+    central_growth = (pick("centralized", 30, 0.0)["messages"]
+                      / pick("centralized", 10, 0.0)["messages"])
+    distributed_growth = (pick("distributed", 30, 0.0)["messages"]
+                          / pick("distributed", 10, 0.0)["messages"])
+    assert distributed_growth > central_growth
+
+    # Staleness under churn: cached adverts go stale; cache-less floods
+    # reflect the live truth.
+    assert (pick("distributed+cache", 30, 0.02)["stale_fraction"]
+            >= pick("distributed", 30, 0.02)["stale_fraction"])
+
+    # Everyone still answers lookups.
+    assert all(r["answered"] >= r["lookups"] - 2 for r in rows)

@@ -1,0 +1,27 @@
+"""F1 — regenerate Figure 1 (middleware references per year).
+
+Paper artifact: the bar chart in Section 2 plus its textual claims.
+The benchmark times the full corpus-generate + query + aggregate pipeline;
+the printed tables are the reproduced figure series and the claim checks.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table
+from repro.experiments.exp_figure1 import run, run_claims
+
+
+def test_figure1_series(benchmark):
+    rows = benchmark.pedantic(run, kwargs={"seed": 0}, rounds=3, iterations=1)
+    emit(format_table(rows, "F1: middleware references per year (paper figure vs reproduced)"))
+    reproduced = {row["year"]: row["reproduced"] for row in rows}
+    assert reproduced[1993] >= 1 and reproduced[1992] == 0
+    assert reproduced[2001] > 100 * max(1, reproduced[1993])
+
+
+def test_figure1_claims(benchmark):
+    rows = benchmark.pedantic(run_claims, kwargs={"seed": 0}, rounds=3, iterations=1)
+    emit(format_table(rows, "F1: textual claims, paper vs measured"))
+    measured = {row["claim"]: row["measured"] for row in rows}
+    assert measured["first middleware article"] == "1993"
+    assert float(measured["corr(mw, network)"]) > 0.9

@@ -1,0 +1,25 @@
+"""E7b — handoff for a supplier driving out of range (Section 3.7).
+
+Shape that must hold: with the handoff manager the stream transfers before
+the link breaks (fewer failed calls, smaller worst delivery gap) and the
+transaction ends up active on the replacement supplier either way —
+"completed, or transferred to different services matching the constraints".
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table
+from repro.experiments.exp_handoff import run
+
+
+def test_handoff_vs_reactive(benchmark):
+    rows = benchmark.pedantic(run, kwargs={"seed": 0}, rounds=1, iterations=1)
+    emit(format_table(rows, "E7b: mobile supplier leaving radio range"))
+    by_mode = {row["handoff"]: row for row in rows}
+    with_handoff, without = by_mode["on"], by_mode["off"]
+    assert with_handoff["handoffs_initiated"] >= 1
+    assert with_handoff["failed_calls"] < without["failed_calls"]
+    assert with_handoff["worst_gap_s"] <= without["worst_gap_s"]
+    assert with_handoff["final_supplier"] == "static"
+    assert with_handoff["final_state"] == "active"
+    assert with_handoff["deliveries"] >= without["deliveries"]

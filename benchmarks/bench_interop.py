@@ -1,0 +1,32 @@
+"""E9 — the byte/CPU cost of markup interoperability (Section 3.9).
+
+Shape that must hold: binary < JSON < SML in bytes per call — markup costs
+real bandwidth, "the cost must be weighed carefully, especially when
+considering embedded systems" — while the paradigm bridge delivers the
+interoperability the markup buys (RPC callers reach pub/sub consumers
+losslessly).
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table
+from repro.experiments.exp_interop import run, run_bridge
+
+
+def test_codec_cost(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_table(rows, "E9: identical RPC workload per wire format"))
+    by_codec = {row["codec"]: row for row in rows}
+    assert all(row["calls"] == rows[0]["calls"] for row in rows)
+    assert (by_codec["binary"]["bytes_per_call"]
+            < by_codec["json"]["bytes_per_call"]
+            < by_codec["sml"]["bytes_per_call"])
+    # Markup at least doubles the binary wire cost.
+    assert by_codec["sml"]["bytes_per_call"] > 2 * by_codec["binary"]["bytes_per_call"]
+
+
+def test_paradigm_bridge(benchmark):
+    row = benchmark.pedantic(run_bridge, rounds=1, iterations=1)
+    emit(format_table([row], "E9: RPC -> pub/sub bridge"))
+    assert row["published_via_rpc"] == 50
+    assert row["loss"] == 0

@@ -1,0 +1,101 @@
+"""Micro-benchmarks of the hot paths.
+
+Unlike the experiment benches (which regenerate paper claims), these time
+the library's inner loops the way pytest-benchmark is designed to: many
+rounds of a small operation. Useful for catching performance regressions in
+the codecs, the markup parser, feasible-set enumeration, the scheduler, and
+the simulator core.
+"""
+
+from repro.core.feasibility import minimal_feasible_sets
+from repro.core.sensors import SensorInfo
+from repro.interop.codec import BinaryCodec, SmlCodec
+from repro.interop.sml import parse, serialize
+from repro.netsim.simulator import Simulator
+from repro.qos.spec import ConsumerQoS, SupplierQoS, score_match
+from repro.scheduling.policies import EdfPolicy
+from repro.scheduling.scheduler import TaskScheduler
+from repro.scheduling.task import ScheduledTask
+
+SAMPLE_MESSAGE = {
+    "op": "call", "rid": "rpc:node17:svc-142", "method": "record",
+    "params": {"patient": "p-113", "vitals": {"bp": 121.5, "hr": 72,
+                                              "spo2": 0.98},
+               "flags": ["routine", "ward3"], "seq": 4711},
+}
+
+
+def test_binary_codec_round_trip(benchmark):
+    codec = BinaryCodec()
+
+    def round_trip():
+        return codec.decode(codec.encode(SAMPLE_MESSAGE))
+
+    assert benchmark(round_trip) == SAMPLE_MESSAGE
+
+
+def test_sml_codec_round_trip(benchmark):
+    codec = SmlCodec()
+
+    def round_trip():
+        return codec.decode(codec.encode(SAMPLE_MESSAGE))
+
+    assert benchmark(round_trip) == SAMPLE_MESSAGE
+
+
+def test_sml_parse(benchmark):
+    document = serialize(SmlCodec()._to_element(SAMPLE_MESSAGE), indent="  ")
+    result = benchmark(parse, document)
+    assert result.tag == "dict"
+
+
+def test_qos_match_scoring(benchmark):
+    supplier = SupplierQoS(reliability=0.93, availability=0.99,
+                           expected_latency_s=0.02)
+    consumer = ConsumerQoS(min_reliability=0.9, max_latency_s=0.1)
+
+    result = benchmark(score_match, supplier, consumer)
+    assert result is not None
+
+
+def test_feasible_set_enumeration(benchmark):
+    sensors = [
+        SensorInfo(f"s{i}", {f"v{i % 3}": 0.6 + 0.04 * (i % 8)},
+                   active_power_w=0.01, energy_j=1.0)
+        for i in range(12)
+    ]
+    requirements = {"v0": 0.9, "v1": 0.85, "v2": 0.8}
+
+    result = benchmark(minimal_feasible_sets, sensors, requirements)
+    assert result
+
+
+def test_simulator_event_throughput(benchmark):
+    def run_events():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 1000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.001, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run_events) == 1000
+
+
+def test_scheduler_throughput(benchmark):
+    def run_scheduler():
+        sim = Simulator()
+        scheduler = TaskScheduler(sim, EdfPolicy())
+        for i in range(4):
+            scheduler.submit(ScheduledTask(
+                f"t{i}", cost_s=0.01, deadline_s=0.1, period_s=0.1,
+            ))
+        sim.run_until(10.0)
+        return scheduler.completed
+
+    assert benchmark(run_scheduler) == 400

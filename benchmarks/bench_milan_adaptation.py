@@ -1,0 +1,32 @@
+"""E11 — MiLAN plug-and-play adaptation (Section 4).
+
+Shape that must hold: sensor joins/leaves reconfigure the active set
+immediately (loss of a covered variable recovers as soon as a replacement
+joins, never earlier), and QoS uptime stays high across the whole churn
+script.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table
+from repro.experiments.exp_adaptation import run
+
+
+def test_plug_and_play_adaptation(benchmark):
+    rows = benchmark.pedantic(run, kwargs={"state": "rest"}, rounds=1, iterations=1)
+    emit(format_table(rows, "E11: sensors joining and leaving at runtime"))
+    events = [row for row in rows if row["event"] != "SUMMARY"]
+    summary = rows[-1]
+    uptime = float(summary["active_set"].split("=", 1)[1])
+    assert uptime > 0.8
+
+    # Losing the only blood-pressure source breaks QoS...
+    bp_loss = next(row for row in events if row["event"] == "leave bp-cuff")
+    assert bp_loss["satisfied_after"] is False
+    # ...and satisfaction returns exactly when the replacement joins (5 s).
+    assert bp_loss["recovery_s"] is not None and bp_loss["recovery_s"] <= 5.2
+
+    # Events that keep coverage never interrupt the application.
+    safe_events = [row for row in events
+                   if row["event"] in ("leave hr-strap", "leave ppg")]
+    assert all(row["satisfied_after"] for row in safe_events)

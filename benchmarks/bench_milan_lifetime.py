@@ -1,0 +1,38 @@
+"""E10 — the MiLAN headline: lifetime vs naive configurations (Section 4).
+
+Shape that must hold: MiLAN's selectors beat all-on by a wide margin and
+beat both blind-feasible and greedy-reliability selection; greedy
+reliability is as bad as all-on here because it burns the scarce
+high-accuracy sensor continuously. The ablation shows the feasible-set
+enumeration cap does not change the chosen-set quality on this fleet.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table
+from repro.experiments.exp_milan import run, run_ablation
+
+
+def test_milan_lifetime(benchmark):
+    rows = benchmark.pedantic(run, kwargs={"seed": 0}, rounds=1, iterations=1)
+    emit(format_table(rows, "E10: health-monitor lifetime per selection policy"))
+    by_policy = {row["policy"]: row for row in rows}
+    all_on = by_policy["all-on"]["lifetime_s"]
+    assert by_policy["milan-max-lifetime"]["lifetime_s"] > 3.0 * all_on
+    assert by_policy["milan-balanced"]["lifetime_s"] > 3.0 * all_on
+    assert (by_policy["milan-max-lifetime"]["lifetime_s"]
+            > by_policy["random-feasible"]["lifetime_s"])
+    assert (by_policy["milan-max-lifetime"]["lifetime_s"]
+            > by_policy["greedy-reliability"]["lifetime_s"])
+    # Balanced buys surplus with a little lifetime.
+    assert (by_policy["milan-balanced"]["mean_reliability_surplus"]
+            >= by_policy["milan-max-lifetime"]["mean_reliability_surplus"])
+
+
+def test_feasible_set_cap_ablation(benchmark):
+    rows = benchmark.pedantic(run_ablation, kwargs={"caps": (4, 32, 256)},
+                              rounds=3, iterations=1)
+    emit(format_table(rows, "E10 ablation: feasible-set enumeration cap"))
+    # The smallest feasible set is found regardless of the cap.
+    sizes = {row["smallest_set"] for row in rows}
+    assert len(sizes) == 1

@@ -1,0 +1,36 @@
+"""E12 — network independence (Section 3.2).
+
+Shape that must hold: the identical application code completes its full
+workload on every stack (in-memory, Ethernet, 802.11, Bluetooth); latency
+ranks in-memory < wire < 802.11 < Bluetooth per the technologies' physics.
+The ablation shows the reliability layer's retransmission policy trading
+bytes for latency on a lossy channel.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table
+from repro.experiments.exp_netindep import N_CALLS, run, run_retransmit_ablation
+
+
+def test_same_application_every_stack(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_table(rows, "E12: identical application over four stacks"))
+    assert all(row["calls_ok"] == N_CALLS for row in rows)
+    by_stack = {row["stack"]: row for row in rows}
+    assert (by_stack["in-memory"]["mean_latency_ms"]
+            < by_stack["ethernet-10M"]["mean_latency_ms"]
+            < by_stack["802.11+reliable"]["mean_latency_ms"]
+            < by_stack["bluetooth+reliable"]["mean_latency_ms"])
+
+
+def test_retransmission_policy_ablation(benchmark):
+    rows = benchmark.pedantic(run_retransmit_ablation, rounds=1, iterations=1)
+    emit(format_table(rows, "E12 ablation: retransmission policy on a 20%-loss channel"))
+    by_policy = {row["stack"]: row for row in rows}
+    # Link-layer retransmission slashes latency versus relying purely on
+    # application-level RPC retries.
+    assert (by_policy["retries=8"]["mean_latency_ms"]
+            < 0.3 * by_policy["no-retransmit"]["mean_latency_ms"])
+    # Everything still completes either way (layered recovery).
+    assert all(row["calls_ok"] == N_CALLS for row in rows)

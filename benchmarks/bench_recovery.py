@@ -1,0 +1,25 @@
+"""E8 — log-based recovery vs checkpoint interval (Section 3.8).
+
+Shape that must hold: durability is 100% at every setting (the invariant),
+and the records recovery must scan grows monotonically as checkpoints get
+rarer — the runtime-overhead / recovery-time tradeoff.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table
+from repro.experiments.exp_recovery import run
+
+
+def test_checkpoint_interval_tradeoff(benchmark):
+    rows = benchmark.pedantic(
+        run, kwargs={"intervals": (25, 100, 400, 10**9)}, rounds=1, iterations=1,
+    )
+    emit(format_table(rows, "E8: crash recovery vs checkpoint interval"))
+    assert all(row["durability"] == "100%" for row in rows)
+    scanned = [row["records_scanned"] for row in rows]
+    assert scanned == sorted(scanned)  # rarer checkpoints -> longer replay
+    # Never checkpointing replays the whole log.
+    assert rows[-1]["records_scanned"] == rows[-1]["log_records"]
+    # Frequent checkpoints replay a small fraction of it.
+    assert rows[0]["records_scanned"] < 0.1 * rows[0]["log_records"]

@@ -1,0 +1,28 @@
+"""E5 — routing strategies and network lifetime (Sections 3.5 / 4).
+
+Shape that must hold: flooding < shortest-hop < energy-aware on both
+delivered packets and time until the source is cut off; larger alpha
+(stronger residual-energy avoidance) does not hurt — the "middleware
+incorporates routing to increase lifetime" claim.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table
+from repro.experiments.exp_routing import run
+
+
+def test_routing_lifetime(benchmark):
+    rows = benchmark.pedantic(run, kwargs={"alphas": (0.0, 2.0, 4.0)},
+                              rounds=1, iterations=1)
+    emit(format_table(rows, "E5: 5x5 battery grid, far corner -> sink"))
+    by_router = {row["router"]: row for row in rows}
+    flooding = by_router["flooding"]
+    shortest = by_router["shortest-hop"]
+    energy = by_router["energy-aware(a=2)"]
+    assert flooding["source_cut_off_s"] < shortest["source_cut_off_s"]
+    assert shortest["source_cut_off_s"] < energy["source_cut_off_s"]
+    assert flooding["delivered"] < shortest["delivered"] < energy["delivered"]
+    # alpha=0 degenerates to (energy-blind) min-transmission-cost routing.
+    assert (by_router["energy-aware(a=0)"]["source_cut_off_s"]
+            <= energy["source_cut_off_s"])

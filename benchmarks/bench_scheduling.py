@@ -1,0 +1,39 @@
+"""E7 — scheduling policies under load (Section 3.7).
+
+Shape that must hold: FIFO misses deadlines well below full utilization;
+EDF is clean up to utilization 1.0 then collapses; RM is clean below the
+Liu-Layland bound and degrades gracefully in overload (sheds the
+long-period task instead of thrashing everything).
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table
+from repro.experiments.exp_scheduling import run
+
+
+def test_policy_miss_rates(benchmark):
+    rows = benchmark.pedantic(
+        run, kwargs={"utilizations": (0.5, 0.7, 0.9, 1.0, 1.1, 1.2)},
+        rounds=1, iterations=1,
+    )
+    emit(format_table(rows, "E7: deadline miss rate x policy x utilization"))
+
+    def miss(policy, utilization):
+        return next(
+            r["miss_rate"] for r in rows
+            if r["policy"] == policy and r["utilization"] == utilization
+        )
+
+    # FIFO suffers early; EDF does not.
+    assert miss("fifo", 0.7) > 0.1
+    assert miss("edf", 0.9) == 0.0
+    assert miss("rm", 0.7) == 0.0  # below the RM bound for 4 tasks (~0.757)
+    # Overload: EDF thrashes, RM sheds gracefully.
+    assert miss("edf", 1.2) > 0.5
+    assert miss("rm", 1.2) < miss("edf", 1.2)
+    # Dropping late work beats finishing it uselessly under overload.
+    drop = next(r for r in rows if r["policy"] == "edf+drop")
+    keep = next(r for r in rows
+                if r["policy"] == "edf" and r["utilization"] == 1.2)
+    assert drop["miss_rate"] <= keep["miss_rate"] + 0.05

@@ -1,0 +1,27 @@
+"""E3 — spatial vs logical matching (Section 3.4).
+
+Shape that must hold: spatial QoS cuts the user's mean distance to the
+chosen printer substantially without sacrificing requirement satisfaction —
+the "nearest and best matched printer" claim; logical-only matching walks
+users across the building.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table
+from repro.experiments.exp_spatial import run
+
+
+def test_spatial_vs_logical(benchmark):
+    rows = benchmark.pedantic(run, kwargs={"n_users": 200, "seed": 0},
+                              rounds=3, iterations=1)
+    emit(format_table(rows, "E3: printer matching, 200 random users"))
+    by_mode = {row["mode"]: row for row in rows}
+    logical = by_mode["logical-only"]
+    spatial = by_mode["spatial"]
+    # Spatial matching at least halves the mean walk.
+    assert spatial["mean_walk_m"] < 0.5 * logical["mean_walk_m"]
+    # Capability requirements never suffer for it.
+    assert spatial["requirement_met"] >= logical["requirement_met"]
+    # Hard cutoff never sends anyone farther than 60 m.
+    assert by_mode["spatial+cutoff-60m"]["p95_walk_m"] <= 60.0

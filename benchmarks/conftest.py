@@ -1,0 +1,17 @@
+"""Benchmark-suite configuration.
+
+Every bench regenerates one experiment from DESIGN.md's index and prints
+the corresponding table (run pytest with ``-s`` to see them; representative
+outputs are recorded in EXPERIMENTS.md). pytest-benchmark's timing numbers
+measure the harness itself — the experiment *results* are the printed rows,
+which are deterministic per seed.
+"""
+
+from __future__ import annotations
+
+
+def emit(table: str) -> None:
+    """Print an experiment table, framed so it stands out in -s output."""
+    print()
+    print(table)
+    print()

@@ -1,0 +1,96 @@
+"""Multi-hop sensor network: middleware-integrated routing (§3.5, §4).
+
+A field of battery-powered sensor nodes streams readings to a mains-powered
+sink several radio hops away. The middleware routes around energy-poor
+relays (the paper's argument for pulling routing *into* the middleware) and
+the example compares network lifetime under shortest-hop vs energy-aware
+routing for the same workload.
+
+Run:  python examples/wsn_tracking.py
+"""
+
+from repro.netsim import topology
+from repro.netsim.energy import Battery, mains_battery
+from repro.netsim.packet import Packet
+from repro.routing.base import build_routed_network
+from repro.routing.energyaware import EnergyAwareRouter
+from repro.routing.linkstate import LinkStateRouter
+from repro.transport.base import Address
+from repro.transport.simnet import SimFabric
+
+FIELD_NODES = 36  # 6x6 grid
+REPORT_INTERVAL_S = 1.0
+BATTERY_J = 0.03  # small batteries so the experiment ends quickly
+
+
+def build_field(router_kind: str, seed: int = 0):
+    def battery_factory(node_id: str) -> Battery:
+        return mains_battery() if node_id == "n0_0" else Battery(BATTERY_J)
+
+    network = topology.grid(6, 6, spacing=55, seed=seed,
+                            battery_factory=battery_factory)
+    fabric = SimFabric(network)
+    if router_kind == "energy-aware":
+        factory = lambda nid: EnergyAwareRouter(network, nid, alpha=2.0,
+                                                refresh_interval_s=1.0)
+    else:
+        factory = lambda nid: LinkStateRouter(network, nid,
+                                              refresh_interval_s=1.0)
+    agents = build_routed_network(fabric, factory)
+    return network, fabric, agents
+
+
+def run_field(router_kind: str) -> dict:
+    network, fabric, agents = build_field(router_kind)
+    sink = agents["n0_0"].open_port("data")
+    received = []
+    sink.set_receiver(lambda src, data: received.append(str(src)))
+
+    # The far corner reports periodically; everything else is a relay.
+    source = agents["n5_5"].open_port("data")
+
+    def report() -> None:
+        if network.node("n5_5").alive:
+            source.send(Address("n0_0", "data"), b"reading" + bytes(57))
+
+    network.sim.schedule_every(REPORT_INTERVAL_S, report)
+
+    first_death_at = None
+    source_cut_off_at = None
+    time = 0.0
+    while time < 600.0:
+        network.sim.run_for(5.0)
+        time += 5.0
+        if first_death_at is None and network.first_dead_node() is not None:
+            first_death_at = time
+        if source_cut_off_at is None:
+            reachable = network.reachable_from("n0_0")
+            if "n5_5" not in reachable:
+                source_cut_off_at = time
+                break
+    return {
+        "router": router_kind,
+        "delivered": len(received),
+        "first_death_s": first_death_at,
+        "source_cut_off_s": source_cut_off_at or time,
+        "energy_left_j": round(network.total_energy_remaining(), 4),
+    }
+
+
+def main() -> None:
+    print(f"{FIELD_NODES}-node field, 1 report/s from the far corner to the sink\n")
+    rows = [run_field("shortest-hop"), run_field("energy-aware")]
+    header = f"{'router':<14} {'delivered':>9} {'first death':>12} {'cut off':>9} {'energy left':>12}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['router']:<14} {row['delivered']:>9} "
+              f"{str(row['first_death_s']):>12} {str(row['source_cut_off_s']):>9} "
+              f"{row['energy_left_j']:>12}")
+    gain = rows[1]["source_cut_off_s"] / max(1e-9, rows[0]["source_cut_off_s"])
+    print(f"\nenergy-aware routing kept the source connected "
+          f"{gain:.2f}x longer than shortest-hop")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments whose pip/setuptools lack PEP 517 wheel support.
+
+All real metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` on older toolchains.
+"""
+
+from setuptools import setup
+
+setup()

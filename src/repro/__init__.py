@@ -1,0 +1,71 @@
+"""repro — a network-based distributed-systems middleware.
+
+A full reproduction of Carvalho, Murphy, Heinzelman & Coelho,
+*Network-Based Distributed Systems Middleware* (MIDDLEWARE 2003): the
+Section 3 feature catalogue implemented as subsystems, the Section 4 MiLAN
+core on top, and a discrete-event network substrate underneath.
+
+Quickstart::
+
+    from repro import MiddlewareNode, Query
+    from repro.netsim import topology
+    from repro.transport.simnet import SimFabric
+
+    net = topology.star(4)
+    fabric = SimFabric(net)
+    hub = MiddlewareNode(fabric, "hub")                 # runs flooding discovery
+    sensor = MiddlewareNode(fabric, "leaf0")
+    sensor.provide("t1", "thermometer", {"read": lambda: 21.5})
+    found = hub.find(Query("thermometer"))
+    net.sim.run_for(2.0)
+    print(found.result())
+
+Subsystem map (paper section -> package):
+
+==========  ==============================  ===========================
+Section     Feature                         Package
+==========  ==============================  ===========================
+3.2         network independence            :mod:`repro.transport`
+3.3         plug and play / discovery       :mod:`repro.discovery`
+3.4         quality of service              :mod:`repro.qos`
+3.5         locating and routing            :mod:`repro.routing`,
+                                            :mod:`repro.naming`
+3.6         transactions                    :mod:`repro.transactions`
+3.7         scheduling                      :mod:`repro.scheduling`
+3.8         recovery                        :mod:`repro.recovery`
+3.9         interoperability                :mod:`repro.interop`
+4           MiLAN                           :mod:`repro.core`
+(substrate) network simulator               :mod:`repro.netsim`
+(figure 1)  bibliometrics                   :mod:`repro.bibliometrics`
+==========  ==============================  ===========================
+"""
+
+from repro.core.milan import Milan
+from repro.core.policy import ApplicationPolicy, health_monitor_policy
+from repro.discovery.description import ServiceDescription
+from repro.discovery.matching import AttributeConstraint, Query
+from repro.errors import MiddlewareError
+from repro.middleware import MiddlewareNode
+from repro.monitoring import SystemEventBus
+from repro.qos.spec import ConsumerQoS, NetworkQoS, SupplierQoS
+from repro.transactions.transaction import TransactionKind, TransactionSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Milan",
+    "ApplicationPolicy",
+    "health_monitor_policy",
+    "ServiceDescription",
+    "AttributeConstraint",
+    "Query",
+    "MiddlewareError",
+    "MiddlewareNode",
+    "SystemEventBus",
+    "ConsumerQoS",
+    "NetworkQoS",
+    "SupplierQoS",
+    "TransactionKind",
+    "TransactionSpec",
+    "__version__",
+]

@@ -1,0 +1,80 @@
+"""Keyword query engine over the corpus.
+
+The same pipeline a real index search exercises: tokenize the query, match
+phrase-wise against titles and keywords, aggregate hits per year. Queries
+are the "very simple" keyword queries Section 2 describes.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence
+
+from repro.bibliometrics.corpus import PaperRecord
+
+_WORD = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> List[str]:
+    return _WORD.findall(text.lower())
+
+
+def _contains_phrase(haystack: Sequence[str], phrase: Sequence[str]) -> bool:
+    if not phrase:
+        return False
+    n = len(phrase)
+    return any(
+        list(haystack[i:i + n]) == list(phrase)
+        for i in range(len(haystack) - n + 1)
+    )
+
+
+class QueryEngine:
+    """Indexes a corpus once; answers phrase queries."""
+
+    def __init__(self, papers: Iterable[PaperRecord]):
+        self.papers = list(papers)
+        # Pre-tokenized titles and keyword phrases.
+        self._title_tokens = [tokenize(p.title) for p in self.papers]
+        self._keyword_tokens = [
+            [tokenize(k) for k in p.keywords] for p in self.papers
+        ]
+
+    def search(self, query: str) -> List[PaperRecord]:
+        """Papers whose title or keywords contain the query phrase."""
+        phrase = tokenize(query)
+        hits: List[PaperRecord] = []
+        for paper, title_tokens, keyword_tokens in zip(
+            self.papers, self._title_tokens, self._keyword_tokens
+        ):
+            if _contains_phrase(title_tokens, phrase) or any(
+                _contains_phrase(k, phrase) for k in keyword_tokens
+            ):
+                hits.append(paper)
+        return hits
+
+    def counts_by_year(self, query: str) -> Dict[int, int]:
+        """The Figure 1 aggregation: matching papers per publication year."""
+        counts: Dict[int, int] = defaultdict(int)
+        for paper in self.search(query):
+            counts[paper.year] += 1
+        return dict(counts)
+
+    def total(self, query: str) -> int:
+        return len(self.search(query))
+
+
+def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson r between two equal-length series (pure-python)."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need two equal-length series of length >= 2")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return cov / (var_x * var_y) ** 0.5

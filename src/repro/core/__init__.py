@@ -1,0 +1,74 @@
+"""MiLAN — Middleware Linking Applications and Networks (Section 4).
+
+The paper's own system: applications "adapt to changing sets of available
+components" and "further constrain the active components for
+application-performance reasons"; MiLAN's job is "to identify these
+feasible sets and to determine which set optimizes the tradeoff between
+application performance and network cost (e.g., energy dissipation)",
+then "configure the network". Its key feature is "the separation of the
+policy for managing the network, which is defined by the application, from
+the mechanisms for implementing the policy".
+
+The model follows the MiLAN technical report (TR-795) lineage:
+
+* the application declares **states** and, per state, the **reliability
+  each variable of interest requires** (:mod:`repro.core.state`,
+  :mod:`repro.core.requirements`);
+* each **sensor** supplies some variables with some reliability at some
+  energy cost (:mod:`repro.core.sensors`);
+* a sensor set satisfies a variable when the combined reliability
+  ``1 - prod(1 - r_i)`` meets the requirement; the **application feasible
+  sets** are the minimal satisfying sets (:mod:`repro.core.feasibility`);
+* **network plugins** intersect these with what the network can support —
+  Bluetooth piconet size, 802.11 bandwidth, reachability
+  (:mod:`repro.core.plugins`);
+* the **selector** picks the network-feasible set optimizing the
+  performance/lifetime tradeoff (:mod:`repro.core.selection`);
+* the **configurator** turns the choice into node roles
+  (:mod:`repro.core.configurator`), and :mod:`repro.core.milan` is the
+  runtime that re-runs the whole pipeline as states, sensors, and energy
+  change. :mod:`repro.core.policy` is the application-facing declarative
+  policy object.
+"""
+
+from repro.core.configurator import NetworkConfiguration, configure
+from repro.core.feasibility import (
+    combined_reliability,
+    greedy_feasible_set,
+    minimal_feasible_sets,
+    satisfies,
+)
+from repro.core.milan import Milan
+from repro.core.plugins import (
+    BandwidthPlugin,
+    BluetoothPlugin,
+    NetworkContext,
+    NetworkPlugin,
+    ReachabilityPlugin,
+)
+from repro.core.policy import ApplicationPolicy
+from repro.core.requirements import VariableRequirements
+from repro.core.selection import SelectionStrategy, select_best
+from repro.core.sensors import SensorInfo
+from repro.core.state import StateMachine
+
+__all__ = [
+    "NetworkConfiguration",
+    "configure",
+    "combined_reliability",
+    "greedy_feasible_set",
+    "minimal_feasible_sets",
+    "satisfies",
+    "Milan",
+    "BandwidthPlugin",
+    "BluetoothPlugin",
+    "NetworkContext",
+    "NetworkPlugin",
+    "ReachabilityPlugin",
+    "ApplicationPolicy",
+    "VariableRequirements",
+    "SelectionStrategy",
+    "select_best",
+    "SensorInfo",
+    "StateMachine",
+]

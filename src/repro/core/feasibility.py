@@ -1,0 +1,163 @@
+"""Application feasible-set computation — the heart of MiLAN.
+
+"Physical resources ... and minimum application performance limit the input
+to certain subsets of available components. It is the job of MiLAN to
+identify these feasible sets."
+
+A set of sensors S satisfies variable v (required reliability q) when::
+
+    1 - prod_{s in S, s measures v} (1 - r_sv)  >=  q
+
+— independent readings combine like parallel reliability. The *feasible
+sets* are the satisfying subsets; since feasibility is monotone (supersets
+of a feasible set are feasible), the minimal ones characterize them all.
+
+:func:`minimal_feasible_sets` enumerates minimal sets exactly with
+superset pruning (fine up to ~20 sensors); :func:`greedy_feasible_set` is
+the polynomial fallback for larger fleets and is also the "greedy
+reliability" baseline in experiment E10.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.sensors import SensorInfo
+
+SensorSet = FrozenSet[str]
+
+
+def combined_reliability(
+    sensors: Sequence[SensorInfo], variable: str
+) -> float:
+    """Reliability a sensor group achieves for one variable."""
+    miss = 1.0
+    for sensor in sensors:
+        r = sensor.reliability_for(variable)
+        if r > 0.0:
+            miss *= 1.0 - r
+    return 1.0 - miss
+
+
+def satisfies(
+    sensors: Sequence[SensorInfo], requirements: Dict[str, float]
+) -> bool:
+    """True when the group meets every variable requirement."""
+    epsilon = 1e-12
+    return all(
+        combined_reliability(sensors, variable) + epsilon >= required
+        for variable, required in requirements.items()
+    )
+
+
+def unsatisfied_variables(
+    sensors: Sequence[SensorInfo], requirements: Dict[str, float]
+) -> List[str]:
+    epsilon = 1e-12
+    return [
+        variable
+        for variable, required in requirements.items()
+        if combined_reliability(sensors, variable) + epsilon < required
+    ]
+
+
+def minimal_feasible_sets(
+    sensors: Sequence[SensorInfo],
+    requirements: Dict[str, float],
+    max_size: Optional[int] = None,
+    max_sets: int = 256,
+) -> List[SensorSet]:
+    """Enumerate minimal feasible sets (ids), smallest first.
+
+    Only sensors measuring at least one required variable are considered.
+    Searches subset sizes in increasing order and prunes supersets of
+    already-found feasible sets, so every returned set is minimal. Stops
+    after ``max_sets`` results — the selector rarely needs more, and the
+    cap bounds worst-case work (documented ablation in bench E10).
+
+    Returns an empty list when even the full set is infeasible.
+    """
+    relevant = [
+        sensor
+        for sensor in sensors
+        if not sensor.depleted
+        and any(sensor.measures(v) for v in requirements)
+    ]
+    if not requirements:
+        return [frozenset()]
+    if not satisfies(relevant, requirements):
+        return []
+    by_id = {s.sensor_id: s for s in relevant}
+    ids = sorted(by_id)
+    limit = len(ids) if max_size is None else min(max_size, len(ids))
+    found: List[SensorSet] = []
+    for size in range(1, limit + 1):
+        for combo in combinations(ids, size):
+            candidate = frozenset(combo)
+            if any(existing <= candidate for existing in found):
+                continue  # superset of a smaller feasible set: not minimal
+            if satisfies([by_id[i] for i in combo], requirements):
+                found.append(candidate)
+                if len(found) >= max_sets:
+                    return found
+    return found
+
+
+def greedy_feasible_set(
+    sensors: Sequence[SensorInfo],
+    requirements: Dict[str, float],
+) -> Optional[SensorSet]:
+    """Polynomial-time feasible set: repeatedly add the sensor with the
+    largest reliability contribution to the currently worst-satisfied
+    variable. Not necessarily minimal; None when infeasible."""
+    available = {
+        s.sensor_id: s
+        for s in sensors
+        if not s.depleted and any(s.measures(v) for v in requirements)
+    }
+    if not requirements:
+        return frozenset()
+    chosen: Dict[str, SensorInfo] = {}
+    while True:
+        group = list(chosen.values())
+        missing = unsatisfied_variables(group, requirements)
+        if not missing:
+            return frozenset(chosen)
+        # Deficit-weighted: target the variable farthest from its goal.
+        target = max(
+            missing,
+            key=lambda v: (requirements[v] - combined_reliability(group, v), v),
+        )
+        candidates = [
+            s for sid, s in available.items()
+            if sid not in chosen and s.measures(target)
+        ]
+        if not candidates:
+            return None
+        best = max(
+            candidates, key=lambda s: (s.reliability_for(target), s.sensor_id)
+        )
+        chosen[best.sensor_id] = best
+
+
+def expand_sets(
+    minimal: Iterable[SensorSet], all_ids: Iterable[str], extra: int = 0
+) -> List[SensorSet]:
+    """Optionally grow minimal sets by up to ``extra`` spare sensors.
+
+    MiLAN sometimes prefers slightly-larger-than-minimal sets (redundancy
+    for fault tolerance); this generates those candidates.
+    """
+    ids = sorted(set(all_ids))
+    results: List[SensorSet] = []
+    seen: set = set()
+    for base in minimal:
+        for k in range(extra + 1):
+            spares = [i for i in ids if i not in base]
+            for addition in combinations(spares, k):
+                grown = base | frozenset(addition)
+                if grown not in seen:
+                    seen.add(grown)
+                    results.append(grown)
+    return results

@@ -1,0 +1,212 @@
+"""The MiLAN runtime.
+
+Owns the mechanism side of the policy/mechanism split: given an
+:class:`~repro.core.policy.ApplicationPolicy`, a set of (discovered or
+registered) sensors, and optional network plugins, it
+
+1. computes the application feasible sets for the current state,
+2. filters them through the network plugins,
+3. selects the set optimizing the policy's tradeoff,
+4. derives the network configuration (senders/routers/master/sleepers),
+
+and re-runs that pipeline whenever the application state changes, a sensor
+joins or leaves (plug and play), or energy updates make the current choice
+stale. When nothing is feasible it degrades gracefully: it applies the
+best-effort greedy set (or empty) and emits ``"infeasible"`` so the
+application can react.
+
+Events (via :attr:`events`): ``"reconfigured"`` (configuration, score),
+``"infeasible"`` (state), ``"state_changed"`` (old, new),
+``"sensor_added"`` / ``"sensor_removed"`` (sensor_id).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from repro.core.configurator import NetworkConfiguration, configure
+from repro.core.feasibility import (
+    expand_sets,
+    greedy_feasible_set,
+    minimal_feasible_sets,
+    satisfies,
+)
+from repro.core.plugins import NetworkContext, NetworkPlugin, network_feasible
+from repro.core.policy import ApplicationPolicy
+from repro.core.selection import SetScore, select_best
+from repro.core.sensors import SensorInfo
+from repro.util.events import EventEmitter
+
+SensorSet = FrozenSet[str]
+
+
+class Milan:
+    """One application's MiLAN instance."""
+
+    def __init__(
+        self,
+        policy: ApplicationPolicy,
+        plugins: Sequence[NetworkPlugin] = (),
+        context: Optional[NetworkContext] = None,
+        elect_master: bool = False,
+        auto_reconfigure: bool = True,
+    ):
+        self.policy = policy
+        self.plugins = list(plugins)
+        self.context = context if context is not None else NetworkContext()
+        self.elect_master = elect_master
+        self.auto_reconfigure = auto_reconfigure
+        self.events = EventEmitter()
+        self.state_machine = policy.build_state_machine()
+        self.state_machine.events.on("state_changed", self._on_state_changed)
+        self.current_configuration: Optional[NetworkConfiguration] = None
+        self.current_score: Optional[SetScore] = None
+        self.reconfigurations = 0
+        self.infeasible_rounds = 0
+        self._strategy = policy.selection_strategy()
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def state(self) -> str:
+        return self.state_machine.current
+
+    @property
+    def sensors(self) -> Dict[str, SensorInfo]:
+        return self.context.sensors
+
+    def requirements(self) -> Dict[str, float]:
+        return self.policy.requirements.for_state(self.state)
+
+    def active_sensor_ids(self) -> SensorSet:
+        if self.current_configuration is None:
+            return frozenset()
+        return self.current_configuration.active_sensors
+
+    def application_satisfied(self) -> bool:
+        """Is the applied set actually meeting the current requirements?"""
+        active = [
+            self.context.sensors[sid]
+            for sid in self.active_sensor_ids()
+            if sid in self.context.sensors
+        ]
+        return satisfies(active, self.requirements())
+
+    # ---------------------------------------------------------- plug and play
+
+    def add_sensor(self, sensor: SensorInfo) -> None:
+        self.context.sensors[sensor.sensor_id] = sensor
+        self.events.emit("sensor_added", sensor.sensor_id)
+        if self.auto_reconfigure:
+            self.reconfigure()
+
+    def remove_sensor(self, sensor_id: str) -> None:
+        if self.context.sensors.pop(sensor_id, None) is not None:
+            self.events.emit("sensor_removed", sensor_id)
+            if self.auto_reconfigure and sensor_id in self.active_sensor_ids():
+                self.reconfigure()
+
+    def update_sensor_energy(self, sensor_id: str, energy_j: float) -> None:
+        """Refresh a sensor's energy; reconfigures if it died while active."""
+        sensor = self.context.sensors.get(sensor_id)
+        if sensor is None:
+            return
+        self.context.sensors[sensor_id] = sensor.with_energy(energy_j)
+        if (
+            self.auto_reconfigure
+            and energy_j <= 0.0
+            and sensor_id in self.active_sensor_ids()
+        ):
+            self.reconfigure()
+
+    # ----------------------------------------------------------------- state
+
+    def set_state(self, state: str) -> None:
+        self.state_machine.force(state)
+
+    def observe(self, readings: Dict[str, object]) -> None:
+        """Feed variable readings; may fire a policy transition."""
+        self.state_machine.advance(readings)
+
+    def _on_state_changed(self, old: str, new: str) -> None:
+        self.events.emit("state_changed", old, new)
+        if self.auto_reconfigure:
+            self.reconfigure()
+
+    # ------------------------------------------------------------- pipeline
+
+    def candidate_sets(self) -> List[SensorSet]:
+        """Steps 1-2: application feasible sets, then network filtering."""
+        requirements = self.requirements()
+        alive = [s for s in self.context.sensors.values() if not s.depleted]
+        if len(alive) <= self.policy.exhaustive_limit:
+            minimal = minimal_feasible_sets(alive, requirements)
+        else:
+            greedy = greedy_feasible_set(alive, requirements)
+            minimal = [greedy] if greedy is not None else []
+        if self.policy.redundancy > 0 and minimal:
+            candidates = expand_sets(
+                minimal,
+                [s.sensor_id for s in alive],
+                extra=self.policy.redundancy,
+            )
+        else:
+            candidates = list(minimal)
+        return network_feasible(candidates, self.plugins, self.context)
+
+    def reconfigure(self) -> Optional[NetworkConfiguration]:
+        """Run the full pipeline and apply the result."""
+        requirements = self.requirements()
+        candidates = self.candidate_sets()
+        chosen = select_best(
+            candidates, self.context.sensors, requirements, self._strategy
+        )
+        if chosen is None:
+            # Graceful degradation: best-effort greedy set, even if it
+            # cannot fully satisfy the state.
+            self.infeasible_rounds += 1
+            self.events.emit("infeasible", self.state)
+            fallback = greedy_feasible_set(
+                list(self.context.sensors.values()), requirements
+            )
+            best_effort = fallback if fallback is not None else self._all_alive()
+            configuration = configure(best_effort, self.context, self.elect_master)
+            self.current_configuration = configuration
+            self.current_score = None
+            return configuration
+        configuration = configure(
+            chosen.sensor_set, self.context, self.elect_master
+        )
+        self.current_configuration = configuration
+        self.current_score = chosen
+        self.reconfigurations += 1
+        self.events.emit("reconfigured", configuration, chosen)
+        return configuration
+
+    def _all_alive(self) -> SensorSet:
+        return frozenset(
+            sid for sid, s in self.context.sensors.items() if not s.depleted
+        )
+
+    # ------------------------------------------------------------- simulation
+
+    def advance_time(self, dt_s: float) -> List[str]:
+        """Drain energy from active sensors for ``dt_s`` seconds.
+
+        Returns the ids of sensors that died during the interval. Used by
+        the lifetime experiments: the harness alternates advance_time with
+        application activity. Reconfigures automatically when a death (or
+        the auto flag) requires it.
+        """
+        died: List[str] = []
+        for sensor_id in sorted(self.active_sensor_ids()):
+            sensor = self.context.sensors.get(sensor_id)
+            if sensor is None or sensor.depleted:
+                continue
+            drained = sensor.drained(sensor.active_power_w * dt_s)
+            self.context.sensors[sensor_id] = drained
+            if drained.depleted:
+                died.append(sensor_id)
+        if died and self.auto_reconfigure:
+            self.reconfigure()
+        return died

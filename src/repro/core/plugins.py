@@ -1,0 +1,120 @@
+"""Network plugins: from application-feasible to network-feasible sets.
+
+Section 4: MiLAN "must then configure the network (e.g., determine which
+components should send data, ... and which nodes should play special roles
+in the network, such as Bluetooth masters)", and it is "applicable to
+multiple specific technologies (e.g., Bluetooth or 802.11)".
+
+A plugin knows one technology's constraints and filters candidate sensor
+sets accordingly. Plugins compose: a set is network-feasible when every
+installed plugin accepts it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Protocol, Sequence, runtime_checkable
+
+from repro.core.sensors import SensorInfo
+from repro.errors import ConfigurationError
+from repro.netsim.network import Network
+
+SensorSet = FrozenSet[str]
+
+
+@dataclass
+class NetworkContext:
+    """What plugins may inspect when judging a set."""
+
+    sensors: Dict[str, SensorInfo] = field(default_factory=dict)
+    network: Optional[Network] = None  # live topology, when simulating one
+    sink_node_id: Optional[str] = None  # where data must arrive
+
+    def info(self, sensor_id: str) -> SensorInfo:
+        try:
+            return self.sensors[sensor_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown sensor {sensor_id!r}") from None
+
+
+@runtime_checkable
+class NetworkPlugin(Protocol):
+    """One technology's feasibility judgment."""
+
+    name: str
+
+    def accepts(self, sensor_set: SensorSet, context: NetworkContext) -> bool:
+        ...
+
+
+class BluetoothPlugin:
+    """Piconet constraint: a master serves at most ``max_active_slaves``
+    active slaves, so a set larger than that cannot stream concurrently.
+
+    With ``masters > 1`` the deployment has several piconets (a scatternet)
+    and the cap multiplies.
+    """
+
+    name = "bluetooth"
+
+    def __init__(self, max_active_slaves: int = 7, masters: int = 1):
+        if max_active_slaves < 1 or masters < 1:
+            raise ConfigurationError("piconet parameters must be >= 1")
+        self.max_active_slaves = max_active_slaves
+        self.masters = masters
+
+    def accepts(self, sensor_set: SensorSet, context: NetworkContext) -> bool:
+        return len(sensor_set) <= self.max_active_slaves * self.masters
+
+
+class BandwidthPlugin:
+    """802.11-style shared-channel constraint: the sum of the set's stream
+    bandwidths must fit in the channel's usable capacity."""
+
+    name = "bandwidth"
+
+    def __init__(self, capacity_bps: float, utilization_cap: float = 0.8):
+        if capacity_bps <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity_bps!r}")
+        if not 0.0 < utilization_cap <= 1.0:
+            raise ConfigurationError(
+                f"utilization cap must be in (0, 1], got {utilization_cap!r}"
+            )
+        self.capacity_bps = capacity_bps
+        self.utilization_cap = utilization_cap
+
+    def accepts(self, sensor_set: SensorSet, context: NetworkContext) -> bool:
+        demand = sum(context.info(sid).bandwidth_bps for sid in sensor_set)
+        return demand <= self.capacity_bps * self.utilization_cap
+
+
+class ReachabilityPlugin:
+    """Multi-hop constraint: every selected sensor's node must currently
+    reach the sink over the live topology."""
+
+    name = "reachability"
+
+    def accepts(self, sensor_set: SensorSet, context: NetworkContext) -> bool:
+        if context.network is None or context.sink_node_id is None:
+            return True  # nothing to check against
+        reachable = context.network.reachable_from(context.sink_node_id)
+        for sensor_id in sensor_set:
+            node_id = context.info(sensor_id).node_id
+            if node_id is None:
+                continue
+            if node_id != context.sink_node_id and node_id not in reachable:
+                return False
+        return True
+
+
+def network_feasible(
+    candidate_sets: Sequence[SensorSet],
+    plugins: Sequence[NetworkPlugin],
+    context: NetworkContext,
+) -> List[SensorSet]:
+    """Filter candidates through every plugin (order-preserving)."""
+    return [
+        sensor_set
+        for sensor_set in candidate_sets
+        if all(plugin.accepts(sensor_set, context) for plugin in plugins)
+    ]

@@ -1,0 +1,135 @@
+"""Set selection: the application-performance / network-cost tradeoff.
+
+Section 4: MiLAN must "determine which set optimizes the tradeoff between
+application performance and network cost (e.g., energy dissipation)".
+
+For a candidate set S we score:
+
+* **lifetime(S)** — how long the *fleet* can keep the application fed if S
+  is the active set now: the time until the first member of S dies
+  (min energy_i / power_i). Mains-powered members contribute infinity.
+* **performance(S)** — the mean achieved reliability over required
+  variables (always >= requirement for feasible sets; surplus is real
+  headroom against sensor loss).
+* **cost(S)** — total active power draw.
+
+Strategies (benchmarked against each other in E10's ablation):
+
+* ``max_lifetime`` — maximize lifetime, tie-break on fewer members/lower
+  power;
+* ``max_reliability`` — maximize performance (the greedy baseline's goal);
+* ``balanced(alpha)`` — maximize ``alpha * normalized_lifetime +
+  (1-alpha) * performance``; alpha=1 ~ max_lifetime, alpha=0 ~
+  max_reliability.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.feasibility import combined_reliability
+from repro.core.sensors import SensorInfo
+from repro.errors import ConfigurationError
+
+SensorSet = FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class SetScore:
+    """Metrics of one candidate set."""
+
+    sensor_set: SensorSet
+    lifetime_s: float
+    performance: float
+    power_w: float
+
+
+def score_set(
+    sensor_set: SensorSet,
+    sensors: Dict[str, SensorInfo],
+    requirements: Dict[str, float],
+) -> SetScore:
+    members = [sensors[sid] for sid in sensor_set]
+    lifetime = min(
+        (m.lifetime_if_active() for m in members), default=float("inf")
+    )
+    if requirements:
+        performance = sum(
+            combined_reliability(members, variable) for variable in requirements
+        ) / len(requirements)
+    else:
+        performance = 1.0
+    power = sum(m.active_power_w for m in members)
+    return SetScore(sensor_set, lifetime, performance, power)
+
+
+#: A strategy maps a list of scores to the chosen one.
+SelectionStrategy = Callable[[List[SetScore]], SetScore]
+
+
+def _tie_break(score: SetScore) -> Tuple:
+    """Deterministic final tie-break: fewer members, lower power, sorted ids."""
+    return (len(score.sensor_set), score.power_w, tuple(sorted(score.sensor_set)))
+
+
+def max_lifetime(scores: List[SetScore]) -> SetScore:
+    return min(scores, key=lambda s: (-s.lifetime_s,) + _tie_break(s))
+
+
+def max_reliability(scores: List[SetScore]) -> SetScore:
+    return min(scores, key=lambda s: (-s.performance,) + _tie_break(s))
+
+
+def balanced(alpha: float = 0.7) -> SelectionStrategy:
+    """Weighted tradeoff. Lifetimes are normalized by the best candidate's
+    (infinite lifetimes normalize to 1), keeping both terms in [0, 1]."""
+    if not 0.0 <= alpha <= 1.0:
+        raise ConfigurationError(f"alpha must be in [0, 1], got {alpha!r}")
+
+    def strategy(scores: List[SetScore]) -> SetScore:
+        finite = [s.lifetime_s for s in scores if not math.isinf(s.lifetime_s)]
+        best_finite = max(finite) if finite else 1.0
+
+        def utility(score: SetScore) -> float:
+            if math.isinf(score.lifetime_s):
+                normalized_lifetime = 1.0
+            elif best_finite <= 0:
+                normalized_lifetime = 0.0
+            else:
+                normalized_lifetime = score.lifetime_s / best_finite
+            return alpha * normalized_lifetime + (1.0 - alpha) * score.performance
+
+        return min(scores, key=lambda s: (-utility(s),) + _tie_break(s))
+
+    return strategy
+
+
+_STRATEGIES: Dict[str, SelectionStrategy] = {
+    "max_lifetime": max_lifetime,
+    "max_reliability": max_reliability,
+    "balanced": balanced(),
+}
+
+
+def strategy_by_name(name: str) -> SelectionStrategy:
+    try:
+        return _STRATEGIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown selection strategy {name!r}; known: {sorted(_STRATEGIES)}"
+        ) from None
+
+
+def select_best(
+    candidate_sets: Sequence[SensorSet],
+    sensors: Dict[str, SensorInfo],
+    requirements: Dict[str, float],
+    strategy: SelectionStrategy = max_lifetime,
+) -> Optional[SetScore]:
+    """Score all candidates and pick per the strategy; None when empty."""
+    if not candidate_sets:
+        return None
+    scores = [score_set(s, sensors, requirements) for s in candidate_sets]
+    return strategy(scores)

@@ -1,0 +1,39 @@
+"""Service discovery — the paper's "plug and play" feature (Section 3.3).
+
+The section prescribes, and this package provides:
+
+* attribute-based service descriptions with QoS properties and optional
+  markup interfaces (:mod:`repro.discovery.description`),
+* a matching engine combining attribute predicates with QoS scoring,
+  including spatial QoS (:mod:`repro.discovery.matching`),
+* a **centralized** lease-based registry in the SLP/Jini style
+  (:mod:`repro.discovery.registry`),
+* a **completely distributed** mode: hop-limited advertisement/query
+  flooding with reverse-path replies and advertisement caches
+  (:mod:`repro.discovery.distributed`),
+* an **adaptive** mode that picks centralized or distributed "based on some
+  aspects of the network itself such as density or traffic"
+  (:mod:`repro.discovery.adaptive`),
+* registry **mirroring** "to further increase scalability"
+  (:mod:`repro.discovery.mirror`).
+"""
+
+from repro.discovery.adaptive import AdaptiveDiscovery, AdaptivePolicy
+from repro.discovery.description import ServiceDescription
+from repro.discovery.distributed import DistributedDiscovery
+from repro.discovery.matching import AttributeConstraint, Matcher, Query
+from repro.discovery.mirror import MirrorGroup
+from repro.discovery.registry import RegistryClient, RegistryServer
+
+__all__ = [
+    "AdaptiveDiscovery",
+    "AdaptivePolicy",
+    "ServiceDescription",
+    "DistributedDiscovery",
+    "AttributeConstraint",
+    "Matcher",
+    "Query",
+    "MirrorGroup",
+    "RegistryClient",
+    "RegistryServer",
+]

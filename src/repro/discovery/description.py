@@ -1,0 +1,165 @@
+"""Service descriptions.
+
+A :class:`ServiceDescription` is what a supplier advertises: identity, type,
+free-form attributes, supplier QoS, physical position (for spatial QoS), and
+optionally the markup of its interface (Section 3.3: service discovery
+"can also increase the flexibility of the middleware by providing an
+abstraction of the interface in the form of markup languages").
+
+Descriptions convert to/from plain dicts (for any codec) and to/from SML
+markup (for markup-level interoperability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import DiscoveryError
+from repro.interop import sml
+from repro.qos.spec import SupplierQoS
+
+
+@dataclass(frozen=True)
+class ServiceDescription:
+    """An advertised service."""
+
+    service_id: str
+    service_type: str
+    provider: str  # transport address string, e.g. "node7:services"
+    attributes: Dict[str, str] = field(default_factory=dict)
+    qos: SupplierQoS = SupplierQoS()
+    position: Optional[Tuple[float, float]] = None
+    interface_markup: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.service_id:
+            raise DiscoveryError("service_id must be non-empty")
+        if not self.service_type:
+            raise DiscoveryError("service_type must be non-empty")
+        if not self.provider:
+            raise DiscoveryError("provider address must be non-empty")
+
+    def with_position(self, x: float, y: float) -> "ServiceDescription":
+        return replace(self, position=(x, y))
+
+    # ------------------------------------------------------------- dict form
+
+    def to_dict(self) -> Dict[str, Any]:
+        qos = self.qos
+        payload: Dict[str, Any] = {
+            "service_id": self.service_id,
+            "service_type": self.service_type,
+            "provider": self.provider,
+            "attributes": dict(self.attributes),
+            "qos": {
+                "reliability": qos.reliability,
+                "availability": qos.availability,
+                "expected_latency_s": qos.expected_latency_s,
+                "bandwidth_bps": qos.bandwidth_bps,
+                "battery_powered": qos.battery_powered,
+                "battery_fraction": qos.battery_fraction,
+                "requires_password": qos.requires_password,
+                "encrypted": qos.encrypted,
+                "properties": dict(qos.properties),
+            },
+        }
+        if self.position is not None:
+            payload["position"] = [self.position[0], self.position[1]]
+        if self.interface_markup is not None:
+            payload["interface"] = self.interface_markup
+        return payload
+
+    @staticmethod
+    def from_dict(payload: Dict[str, Any]) -> "ServiceDescription":
+        try:
+            qos_raw = payload.get("qos", {})
+            qos = SupplierQoS(
+                reliability=qos_raw.get("reliability", 1.0),
+                availability=qos_raw.get("availability", 1.0),
+                expected_latency_s=qos_raw.get("expected_latency_s", 0.01),
+                bandwidth_bps=qos_raw.get("bandwidth_bps", 0.0),
+                battery_powered=qos_raw.get("battery_powered", False),
+                battery_fraction=qos_raw.get("battery_fraction"),
+                requires_password=qos_raw.get("requires_password", False),
+                encrypted=qos_raw.get("encrypted", False),
+                properties=dict(qos_raw.get("properties", {})),
+            )
+            position = payload.get("position")
+            return ServiceDescription(
+                service_id=payload["service_id"],
+                service_type=payload["service_type"],
+                provider=payload["provider"],
+                attributes=dict(payload.get("attributes", {})),
+                qos=qos,
+                position=(position[0], position[1]) if position else None,
+                interface_markup=payload.get("interface"),
+            )
+        except (KeyError, TypeError, IndexError) as exc:
+            raise DiscoveryError(f"malformed service description: {exc!r}") from exc
+
+    # -------------------------------------------------------------- markup
+
+    def to_sml(self) -> sml.SmlElement:
+        root = sml.element(
+            "service", id=self.service_id, type=self.service_type, provider=self.provider
+        )
+        attributes = root.add("attributes")
+        for name, value in self.attributes.items():
+            attributes.add("attr", name=name, value=value)
+        qos = root.add(
+            "qos",
+            reliability=repr(self.qos.reliability),
+            availability=repr(self.qos.availability),
+            latency=repr(self.qos.expected_latency_s),
+        )
+        if self.qos.encrypted:
+            qos.attributes["encrypted"] = "true"
+        if self.qos.requires_password:
+            qos.attributes["password"] = "true"
+        if self.position is not None:
+            root.add("position", x=repr(self.position[0]), y=repr(self.position[1]))
+        if self.interface_markup is not None:
+            root.add("interface", text=self.interface_markup)
+        return root
+
+    def markup(self) -> str:
+        return sml.serialize(self.to_sml())
+
+    @staticmethod
+    def from_sml(root: sml.SmlElement) -> "ServiceDescription":
+        if root.tag != "service":
+            raise DiscoveryError(f"expected <service>, got <{root.tag}>")
+        attributes: Dict[str, str] = {}
+        attrs_node = root.child("attributes")
+        if attrs_node is not None:
+            for attr in attrs_node.children_named("attr"):
+                attributes[attr.require("name")] = attr.require("value")
+        qos_node = root.child("qos")
+        qos = SupplierQoS()
+        if qos_node is not None:
+            qos = SupplierQoS(
+                reliability=float(qos_node.get("reliability", "1.0") or "1.0"),
+                availability=float(qos_node.get("availability", "1.0") or "1.0"),
+                expected_latency_s=float(qos_node.get("latency", "0.01") or "0.01"),
+                encrypted=qos_node.get("encrypted") == "true",
+                requires_password=qos_node.get("password") == "true",
+            )
+        position = None
+        pos_node = root.child("position")
+        if pos_node is not None:
+            position = (float(pos_node.require("x")), float(pos_node.require("y")))
+        iface_node = root.child("interface")
+        return ServiceDescription(
+            service_id=root.require("id"),
+            service_type=root.require("type"),
+            provider=root.require("provider"),
+            attributes=attributes,
+            qos=qos,
+            position=position,
+            interface_markup=iface_node.text if iface_node is not None else None,
+        )
+
+    @staticmethod
+    def from_markup(text: str) -> "ServiceDescription":
+        return ServiceDescription.from_sml(sml.parse(text))

@@ -1,0 +1,184 @@
+"""The matching engine: attribute predicates + QoS scoring.
+
+Section 3.3 calls for "sophisticated matching criteria based on quality of
+service". A :class:`Query` filters candidates by type and attribute
+constraints; the :class:`Matcher` then ranks survivors with the three-way
+QoS score of :func:`repro.qos.spec.score_match`, including spatial QoS when
+the consumer supplies a position.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.discovery.description import ServiceDescription
+from repro.errors import DiscoveryError
+from repro.qos.spec import ConsumerQoS, MatchScore, NetworkQoS, score_match
+
+#: Supported constraint operators.
+_OPERATORS = ("=", "!=", "contains", ">=", "<=")
+
+
+@dataclass(frozen=True)
+class AttributeConstraint:
+    """One predicate over a service attribute.
+
+    ``>=``/``<=`` compare numerically (the attribute must parse as float);
+    the others compare as strings. A missing attribute fails every
+    constraint except ``!=``.
+    """
+
+    name: str
+    op: str
+    value: str
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPERATORS:
+            raise DiscoveryError(
+                f"unknown constraint operator {self.op!r}; known: {_OPERATORS}"
+            )
+
+    def matches(self, attributes: Dict[str, str]) -> bool:
+        actual = attributes.get(self.name)
+        if actual is None:
+            return self.op == "!="
+        if self.op == "=":
+            return actual == self.value
+        if self.op == "!=":
+            return actual != self.value
+        if self.op == "contains":
+            return self.value in actual
+        try:
+            left, right = float(actual), float(self.value)
+        except ValueError:
+            return False
+        return left >= right if self.op == ">=" else left <= right
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"name": self.name, "op": self.op, "value": self.value}
+
+    @staticmethod
+    def from_dict(raw: Dict[str, str]) -> "AttributeConstraint":
+        return AttributeConstraint(raw["name"], raw["op"], raw["value"])
+
+
+@dataclass(frozen=True)
+class Query:
+    """What a consumer asks discovery for.
+
+    ``service_type`` of ``"*"`` matches any type. ``consumer`` carries the
+    QoS requirements (may be None for attribute-only lookups);
+    ``consumer_position`` enables spatial QoS.
+    """
+
+    service_type: str
+    constraints: Tuple[AttributeConstraint, ...] = ()
+    consumer: Optional[ConsumerQoS] = None
+    consumer_position: Optional[Tuple[float, float]] = None
+    max_results: int = 10
+
+    def __post_init__(self) -> None:
+        if not self.service_type:
+            raise DiscoveryError("query service_type must be non-empty ('*' for any)")
+        if self.max_results <= 0:
+            raise DiscoveryError(f"max_results must be positive, got {self.max_results!r}")
+
+    def accepts(self, description: ServiceDescription) -> bool:
+        """Attribute-level filtering (before QoS scoring)."""
+        if self.service_type != "*" and description.service_type != self.service_type:
+            return False
+        return all(c.matches(description.attributes) for c in self.constraints)
+
+    # ------------------------------------------------------------- wire form
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "service_type": self.service_type,
+            "constraints": [c.to_dict() for c in self.constraints],
+            "max_results": self.max_results,
+        }
+        if self.consumer is not None:
+            payload["consumer"] = {
+                "min_reliability": self.consumer.min_reliability,
+                "min_availability": self.consumer.min_availability,
+                "max_latency_s": self.consumer.max_latency_s,
+                "require_encryption": self.consumer.require_encryption,
+                "has_password": self.consumer.password is not None,
+            }
+        if self.consumer_position is not None:
+            payload["position"] = [self.consumer_position[0], self.consumer_position[1]]
+        return payload
+
+    @staticmethod
+    def from_dict(payload: Dict[str, Any]) -> "Query":
+        """Rebuild a query from its wire form.
+
+        Note: only the *hard* consumer terms travel (benefit functions are
+        code, not data); remote matchers filter hard terms and the consumer
+        re-ranks locally with its full QoS — the standard split in SLP-like
+        protocols.
+        """
+        consumer = None
+        raw_consumer = payload.get("consumer")
+        if raw_consumer is not None:
+            consumer = ConsumerQoS(
+                min_reliability=raw_consumer.get("min_reliability", 0.0),
+                min_availability=raw_consumer.get("min_availability", 0.0),
+                max_latency_s=raw_consumer.get("max_latency_s"),
+                require_encryption=raw_consumer.get("require_encryption", False),
+                password="*" if raw_consumer.get("has_password") else None,
+            )
+        position = payload.get("position")
+        return Query(
+            service_type=payload["service_type"],
+            constraints=tuple(
+                AttributeConstraint.from_dict(c) for c in payload.get("constraints", [])
+            ),
+            consumer=consumer,
+            consumer_position=(position[0], position[1]) if position else None,
+            max_results=payload.get("max_results", 10),
+        )
+
+
+@dataclass(frozen=True)
+class Match:
+    """One ranked result."""
+
+    description: ServiceDescription
+    score: MatchScore
+    distance_m: Optional[float] = None
+
+
+class Matcher:
+    """Ranks service descriptions against a query."""
+
+    def __init__(self, network: NetworkQoS = NetworkQoS()):
+        self.network = network
+
+    def distance(
+        self, query: Query, description: ServiceDescription
+    ) -> Optional[float]:
+        if query.consumer_position is None or description.position is None:
+            return None
+        qx, qy = query.consumer_position
+        sx, sy = description.position
+        return math.hypot(qx - sx, qy - sy)
+
+    def match(
+        self, descriptions: List[ServiceDescription], query: Query
+    ) -> List[Match]:
+        """Filter by attributes, score by QoS, return best-first (capped)."""
+        consumer = query.consumer if query.consumer is not None else ConsumerQoS()
+        results: List[Match] = []
+        for description in descriptions:
+            if not query.accepts(description):
+                continue
+            distance_m = self.distance(query, description)
+            score = score_match(description.qos, consumer, self.network, distance_m)
+            if score is None:
+                continue
+            results.append(Match(description, score, distance_m))
+        results.sort(key=lambda m: (-m.score.total, m.description.service_id))
+        return results[: query.max_results]

@@ -1,0 +1,145 @@
+"""Exception hierarchy for the repro middleware.
+
+Every error raised by this library derives from :class:`MiddlewareError`, so
+applications can catch a single base class at their outermost boundary while
+still distinguishing subsystem failures when they need to.
+"""
+
+from __future__ import annotations
+
+
+class MiddlewareError(Exception):
+    """Base class for all errors raised by the repro middleware."""
+
+
+class ConfigurationError(MiddlewareError):
+    """A component was constructed or wired with invalid parameters."""
+
+
+class TransportError(MiddlewareError):
+    """Base class for transport-layer failures."""
+
+
+class AddressError(TransportError):
+    """An address could not be parsed, resolved, or reached."""
+
+
+class DeliveryError(TransportError):
+    """A message could not be delivered (after retries, if applicable)."""
+
+
+class TransportClosedError(TransportError):
+    """An operation was attempted on a closed transport."""
+
+
+class NamingError(MiddlewareError):
+    """Base class for naming/location failures."""
+
+
+class NameNotFoundError(NamingError):
+    """A logical name has no binding in the location service."""
+
+
+class DiscoveryError(MiddlewareError):
+    """Base class for service-discovery failures."""
+
+
+class ServiceNotFoundError(DiscoveryError):
+    """No registered service matched the query."""
+
+
+class LeaseExpiredError(DiscoveryError):
+    """An operation referenced a registration whose lease has lapsed."""
+
+
+class QoSError(MiddlewareError):
+    """Base class for quality-of-service failures."""
+
+
+class QoSViolationError(QoSError):
+    """A QoS contract was violated and could not be repaired."""
+
+
+class InfeasibleError(QoSError):
+    """No component set can satisfy the requested application QoS."""
+
+
+class RoutingError(MiddlewareError):
+    """Base class for routing failures."""
+
+
+class NoRouteError(RoutingError):
+    """No route to the destination exists or could be discovered."""
+
+
+class TransactionError(MiddlewareError):
+    """Base class for transaction failures."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was aborted (by the application or the middleware)."""
+
+
+class RpcError(TransactionError):
+    """Base class for RPC failures."""
+
+
+class RpcTimeoutError(RpcError):
+    """An RPC did not complete within its deadline."""
+
+
+class RemoteError(RpcError):
+    """The remote handler raised an exception.
+
+    The remote exception's type name and message are preserved in
+    :attr:`remote_type` and the error string.
+    """
+
+    def __init__(self, remote_type: str, message: str):
+        super().__init__(f"{remote_type}: {message}")
+        self.remote_type = remote_type
+        self.remote_message = message
+
+
+class SchedulingError(MiddlewareError):
+    """Base class for scheduling failures."""
+
+
+class DeadlineMissed(SchedulingError):
+    """A task or transaction missed its deadline."""
+
+
+class AdmissionRefused(SchedulingError):
+    """The scheduler refused to admit a task (admission control)."""
+
+
+class RecoveryError(MiddlewareError):
+    """Base class for recovery-subsystem failures."""
+
+
+class LogCorruptionError(RecoveryError):
+    """The write-ahead log failed integrity checks during recovery."""
+
+
+class InteropError(MiddlewareError):
+    """Base class for interoperability failures."""
+
+
+class MarkupError(InteropError):
+    """SML markup could not be parsed."""
+
+
+class CodecError(InteropError):
+    """A payload could not be encoded or decoded."""
+
+
+class SchemaError(InteropError):
+    """A message did not validate against its interface schema."""
+
+
+class SimulationError(MiddlewareError):
+    """Base class for network-simulator failures."""
+
+
+class NodeDownError(SimulationError):
+    """An operation was attempted on a crashed or depleted node."""

@@ -1,0 +1,87 @@
+"""Run experiment harnesses from the command line.
+
+Usage::
+
+    python -m repro.experiments              # list experiments
+    python -m repro.experiments milan        # run one, print its table(s)
+    python -m repro.experiments figure1 discovery
+    python -m repro.experiments all          # everything (several minutes)
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List, Tuple
+
+from repro.experiments import format_table
+from repro.experiments import (
+    exp_adaptation,
+    exp_degradation,
+    exp_discovery,
+    exp_figure1,
+    exp_handoff,
+    exp_interop,
+    exp_milan,
+    exp_netindep,
+    exp_recovery,
+    exp_routing,
+    exp_scheduling,
+    exp_spatial,
+    exp_transactions,
+)
+
+#: name -> [(title, thunk returning rows)]
+EXPERIMENTS: Dict[str, List[Tuple[str, Callable[[], list]]]] = {
+    "figure1": [
+        ("F1: middleware references per year", exp_figure1.run),
+        ("F1: textual claims", exp_figure1.run_claims),
+    ],
+    "discovery": [("E2: discovery mode x size x churn", exp_discovery.run)],
+    "spatial": [("E3: spatial vs logical matching", exp_spatial.run)],
+    "degradation": [("E4: graceful degradation", exp_degradation.run)],
+    "routing": [("E5: routing and lifetime", exp_routing.run)],
+    "transactions": [("E6: interaction paradigms", exp_transactions.run)],
+    "scheduling": [("E7: policies under load", exp_scheduling.run)],
+    "handoff": [("E7b: departing-supplier handoff", exp_handoff.run)],
+    "recovery": [("E8: recovery vs checkpoint interval", exp_recovery.run)],
+    "interop": [
+        ("E9: wire-format cost", exp_interop.run),
+        ("E9: paradigm bridge", lambda: [exp_interop.run_bridge()]),
+    ],
+    "milan": [
+        ("E10: MiLAN lifetime vs baselines", exp_milan.run),
+        ("E10 ablation: feasible-set cap", exp_milan.run_ablation),
+    ],
+    "adaptation": [("E11: plug-and-play adaptation", exp_adaptation.run)],
+    "netindep": [
+        ("E12: network independence", exp_netindep.run),
+        ("E12 ablation: retransmission policy",
+         exp_netindep.run_retransmit_ablation),
+    ],
+}
+
+
+def main(argv: List[str]) -> int:
+    names = argv[1:]
+    if not names:
+        print(__doc__)
+        print("available experiments:")
+        for name in sorted(EXPERIMENTS):
+            print(f"  {name}")
+        return 0
+    if names == ["all"]:
+        names = sorted(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; "
+              f"available: {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in names:
+        for title, thunk in EXPERIMENTS[name]:
+            print(format_table(thunk(), title))
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

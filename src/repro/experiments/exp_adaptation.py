@@ -1,0 +1,97 @@
+"""E11 — MiLAN plug-and-play adaptation (Section 4).
+
+Claim under test: "Applications themselves are able to adapt to changing
+sets of components providing input (in a sense, plug and play), and the
+system incorporates a service discovery mechanism to identify new
+components."
+
+Sensors join and leave (discovered and lost over the simulated network)
+while the application runs; reported per event kind: how long MiLAN took to
+reconfigure (virtual time from event to restored satisfaction) and the
+fraction of total time the application QoS was satisfied.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.core.milan import Milan
+from repro.core.policy import health_monitor_policy
+from repro.core.sensors import SensorInfo
+
+#: (time, event, sensor) script: a living deployment.
+SCRIPT = [
+    (0.0, "join", SensorInfo("bp-cuff", {"blood_pressure": 0.95}, 0.02, 50.0)),
+    (0.0, "join", SensorInfo("hr-strap", {"heart_rate": 0.85}, 0.006, 50.0)),
+    (5.0, "join", SensorInfo("ppg", {"heart_rate": 0.8, "oxygen_saturation": 0.9},
+                             0.01, 50.0)),
+    (10.0, "leave", "hr-strap"),          # strap taken off: hr via ppg
+    (15.0, "join", SensorInfo("ecg", {"heart_rate": 0.95, "blood_pressure": 0.3},
+                              0.03, 50.0)),
+    (20.0, "leave", "bp-cuff"),           # cuff removed: bp only via weak ecg
+    (25.0, "join", SensorInfo("bp-wrist", {"blood_pressure": 0.75}, 0.008, 50.0)),
+    (30.0, "leave", "ppg"),
+    (35.0, "join", SensorInfo("spo2", {"oxygen_saturation": 0.85}, 0.012, 50.0)),
+]
+
+DURATION_S = 40.0
+TICK_S = 0.1
+
+
+def run(state: str = "rest") -> List[Dict[str, Any]]:
+    """Event log: per join/leave, whether QoS held and reconfig latency."""
+    milan = Milan(health_monitor_policy())
+    milan.set_state(state)
+    script = sorted(SCRIPT, key=lambda entry: entry[0])
+    rows: List[Dict[str, Any]] = []
+    satisfied_time = 0.0
+    time = 0.0
+    index = 0
+    pending: List[Dict[str, Any]] = []
+    while time < DURATION_S:
+        while index < len(script) and script[index][0] <= time:
+            _when, kind, payload = script[index]
+            index += 1
+            before = milan.application_satisfied()
+            if kind == "join":
+                milan.add_sensor(payload)
+                name = payload.sensor_id
+            else:
+                milan.remove_sensor(payload)
+                name = payload
+            after = milan.application_satisfied()
+            row = {
+                "t": time,
+                "event": f"{kind} {name}",
+                "satisfied_before": before,
+                "satisfied_after": after,
+                "active_set": ",".join(sorted(milan.active_sensor_ids())),
+                "recovery_s": 0.0 if after else None,
+            }
+            rows.append(row)
+            if not after:
+                pending.append(row)
+        if milan.application_satisfied():
+            satisfied_time += TICK_S
+            for row in pending:
+                row["recovery_s"] = round(time - row["t"], 2)
+            pending = []
+        time += TICK_S
+    rows.append(
+        {
+            "t": DURATION_S,
+            "event": "SUMMARY",
+            "satisfied_before": "",
+            "satisfied_after": "",
+            "active_set": f"uptime={satisfied_time / DURATION_S:.3f}",
+            "recovery_s": None,
+        }
+    )
+    return rows
+
+
+def qos_uptime(state: str = "rest") -> float:
+    """Just the headline number: fraction of time the QoS held."""
+    rows = run(state)
+    summary = rows[-1]["active_set"]
+    return float(summary.split("=", 1)[1])

@@ -1,0 +1,142 @@
+"""Paradigm bridges and the middleware-to-middleware gateway.
+
+Section 3.9's goal — interoperability "among multiple languages and/or
+middleware platforms" — shows up in two forms here:
+
+* :class:`CodecGateway` — a node standing between two transports whose
+  parties speak *different wire formats* (e.g. a binary-codec sensor island
+  and an SML-markup enterprise side). It decodes with one codec, re-encodes
+  with the other, and forwards per an address map. Semantic independence
+  comes from the shared JSON-like value model, exactly the markup argument
+  the paper makes.
+* :class:`RpcEventBridge` / :class:`PubSubTupleBridge` — *paradigm*
+  bridges: RPC callers reach publish/subscribe consumers, and events
+  materialize as tuples for tuple-space readers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.interop.codec import Codec, get_codec
+from repro.transactions.pubsub import PubSubClient
+from repro.transactions.rpc import RpcEndpoint
+from repro.transactions.tuplespace import TupleSpaceClient
+from repro.transport.base import Address, Transport
+
+
+class CodecGateway:
+    """Bidirectional wire-format translation between two transports.
+
+    ``route_a_to_b`` maps source addresses seen on side A to destinations
+    on side B (and vice versa for ``route_b_to_a``); unmapped sources fall
+    back to the default peer, and traffic with no route is dropped and
+    counted.
+    """
+
+    def __init__(
+        self,
+        side_a: Transport,
+        side_b: Transport,
+        codec_a: Optional[Codec] = None,
+        codec_b: Optional[Codec] = None,
+        default_b: Optional[Address] = None,
+        default_a: Optional[Address] = None,
+    ):
+        self.side_a = side_a
+        self.side_b = side_b
+        self.codec_a = codec_a if codec_a is not None else get_codec("binary")
+        self.codec_b = codec_b if codec_b is not None else get_codec("sml")
+        self.route_a_to_b: Dict[str, Address] = {}
+        self.route_b_to_a: Dict[str, Address] = {}
+        self.default_b = default_b
+        self.default_a = default_a
+        self.forwarded_a_to_b = 0
+        self.forwarded_b_to_a = 0
+        self.dropped = 0
+        side_a.set_receiver(self._from_a)
+        side_b.set_receiver(self._from_b)
+
+    def map_a_to_b(self, source_on_a: Address, destination_on_b: Address) -> None:
+        self.route_a_to_b[str(source_on_a)] = destination_on_b
+
+    def map_b_to_a(self, source_on_b: Address, destination_on_a: Address) -> None:
+        self.route_b_to_a[str(source_on_b)] = destination_on_a
+
+    def _from_a(self, source: Address, payload: bytes) -> None:
+        destination = self.route_a_to_b.get(str(source), self.default_b)
+        if destination is None:
+            self.dropped += 1
+            return
+        value = self.codec_a.decode(payload)
+        self.forwarded_a_to_b += 1
+        self.side_b.send(destination, self.codec_b.encode(value))
+
+    def _from_b(self, source: Address, payload: bytes) -> None:
+        destination = self.route_b_to_a.get(str(source), self.default_a)
+        if destination is None:
+            self.dropped += 1
+            return
+        value = self.codec_b.decode(payload)
+        self.forwarded_b_to_a += 1
+        self.side_a.send(destination, self.codec_a.encode(value))
+
+
+class RpcEventBridge:
+    """Lets RPC-world clients publish into, and pull from, pub/sub world.
+
+    Exposes two methods on the given RPC endpoint:
+
+    * ``publish(topic, event)`` — forwards to the event broker;
+    * ``poll(topic)`` — returns (and clears) events buffered for a topic
+      pattern this bridge subscribed to with :meth:`bridge_topic`.
+    """
+
+    def __init__(self, rpc: RpcEndpoint, pubsub: PubSubClient):
+        self.rpc = rpc
+        self.pubsub = pubsub
+        self._buffers: Dict[str, list] = {}
+        self.published = 0
+        rpc.expose("publish", self._publish)
+        rpc.expose("poll", self._poll)
+
+    def _publish(self, topic: str, event: Any) -> bool:
+        self.pubsub.publish(topic, event)
+        self.published += 1
+        return True
+
+    def bridge_topic(self, pattern: str) -> None:
+        """Start buffering events matching ``pattern`` for RPC pollers."""
+        self._buffers.setdefault(pattern, [])
+        self.pubsub.subscribe(
+            pattern,
+            lambda topic, event: self._buffers[pattern].append(
+                {"topic": topic, "event": event}
+            ),
+        )
+
+    def _poll(self, topic: str) -> list:
+        buffered = self._buffers.get(topic, [])
+        self._buffers[topic] = []
+        return buffered
+
+
+class PubSubTupleBridge:
+    """Materializes events as tuples: subscribers of one paradigm see
+    producers of the other.
+
+    Every event on ``pattern`` becomes the tuple
+    ``("event", topic, event_value)`` in the tuple space, where Linda-style
+    consumers can ``in_("event", None, None)`` it.
+    """
+
+    def __init__(self, pubsub: PubSubClient, space: TupleSpaceClient, pattern: str):
+        self.pubsub = pubsub
+        self.space = space
+        self.pattern = pattern
+        self.bridged = 0
+        pubsub.subscribe(pattern, self._on_event)
+
+    def _on_event(self, topic: str, event: Any) -> None:
+        self.bridged += 1
+        self.space.out("event", topic, event)

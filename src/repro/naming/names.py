@@ -1,0 +1,65 @@
+"""Hierarchical logical names.
+
+A :class:`LogicalName` is a ``/``-separated path like
+``"hospital/ward3/bp-sensor-2"``. Names are location-independent: they
+identify *what* something is, while the location service maps them to
+*where* it currently is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import NamingError
+
+
+def _validate_segment(segment: str) -> None:
+    if not segment:
+        raise NamingError("name segments must be non-empty")
+    if "/" in segment or any(c.isspace() for c in segment):
+        raise NamingError(f"invalid name segment {segment!r}")
+
+
+@dataclass(frozen=True, order=True)
+class LogicalName:
+    """An immutable hierarchical name."""
+
+    segments: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise NamingError("a logical name needs at least one segment")
+        for segment in self.segments:
+            _validate_segment(segment)
+
+    @staticmethod
+    def parse(text: str) -> "LogicalName":
+        """Parse ``"a/b/c"`` (leading/trailing slashes rejected)."""
+        if not text or text.startswith("/") or text.endswith("/"):
+            raise NamingError(f"invalid logical name {text!r}")
+        return LogicalName(tuple(text.split("/")))
+
+    def __str__(self) -> str:
+        return "/".join(self.segments)
+
+    @property
+    def leaf(self) -> str:
+        return self.segments[-1]
+
+    @property
+    def parent(self) -> "LogicalName":
+        if len(self.segments) == 1:
+            raise NamingError(f"{self} has no parent")
+        return LogicalName(self.segments[:-1])
+
+    def child(self, segment: str) -> "LogicalName":
+        _validate_segment(segment)
+        return LogicalName(self.segments + (segment,))
+
+    def is_prefix_of(self, other: "LogicalName") -> bool:
+        """True if ``other`` lives under (or is) this name."""
+        return other.segments[: len(self.segments)] == self.segments
+
+    def depth(self) -> int:
+        return len(self.segments)

@@ -1,0 +1,42 @@
+"""Discrete-event network simulator.
+
+This package is the substrate the paper assumes but never describes: we have
+no Bluetooth/802.11 testbed or sensor hardware, so the middleware runs over a
+deterministic simulation of one. It models:
+
+* a global event loop with virtual time (:mod:`repro.netsim.simulator`),
+* nodes with positions and batteries (:mod:`repro.netsim.node`),
+* the first-order radio energy model used by the authors' group
+  (:mod:`repro.netsim.energy`),
+* a wireless broadcast medium with disk propagation, loss, and contention
+  delay (:mod:`repro.netsim.medium`), and wireline links
+  (:mod:`repro.netsim.link`),
+* mobility models (:mod:`repro.netsim.mobility`), topology generators
+  (:mod:`repro.netsim.topology`), failure injection
+  (:mod:`repro.netsim.failures`), and metric traces (:mod:`repro.netsim.trace`).
+
+Nothing in this package knows about the middleware above it; the coupling
+point is :class:`repro.netsim.node.Node.set_packet_handler`.
+"""
+
+from repro.netsim.energy import Battery, RadioEnergyModel
+from repro.netsim.link import WiredLink
+from repro.netsim.medium import RadioProfile, WirelessMedium
+from repro.netsim.network import Network
+from repro.netsim.node import Node
+from repro.netsim.packet import Packet
+from repro.netsim.simulator import Simulator
+from repro.netsim.trace import MetricsRecorder
+
+__all__ = [
+    "Battery",
+    "RadioEnergyModel",
+    "WiredLink",
+    "RadioProfile",
+    "WirelessMedium",
+    "Network",
+    "Node",
+    "Packet",
+    "Simulator",
+    "MetricsRecorder",
+]

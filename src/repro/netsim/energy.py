@@ -1,0 +1,128 @@
+"""Energy modeling: the first-order radio model plus per-node batteries.
+
+MiLAN's headline claim is that QoS-aware component selection extends network
+lifetime, so energy accounting is load-bearing for experiment E10/E5. We use
+the first-order radio model from the authors' group (Heinzelman et al.,
+LEACH): transmitting ``k`` bits over distance ``d`` costs
+
+    E_tx(k, d) = E_elec * k + eps_amp * k * d**path_loss_exponent
+
+and receiving ``k`` bits costs ``E_elec * k``. Sensing and idle listening are
+charged separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+from repro.errors import ConfigurationError
+
+#: Canonical constants from the LEACH papers.
+DEFAULT_E_ELEC = 50e-9  # J/bit for the radio electronics
+DEFAULT_EPS_AMP = 100e-12  # J/bit/m^2 for the transmit amplifier
+DEFAULT_PATH_LOSS_EXPONENT = 2.0
+
+
+@dataclass(frozen=True)
+class RadioEnergyModel:
+    """First-order radio energy model.
+
+    Attributes:
+        e_elec: electronics energy per bit (J/bit), charged on TX and RX.
+        eps_amp: amplifier energy per bit per m^exponent (J/bit/m^e).
+        path_loss_exponent: 2 for free space, up to 4 for multipath.
+        idle_power: power drawn while listening (W).
+        sense_energy: energy per sensing operation (J).
+    """
+
+    e_elec: float = DEFAULT_E_ELEC
+    eps_amp: float = DEFAULT_EPS_AMP
+    path_loss_exponent: float = DEFAULT_PATH_LOSS_EXPONENT
+    idle_power: float = 0.0
+    sense_energy: float = 0.0
+
+    def tx_cost(self, size_bits: int, distance: float) -> float:
+        """Energy (J) to transmit ``size_bits`` over ``distance`` meters."""
+        if size_bits < 0:
+            raise ConfigurationError(f"negative packet size {size_bits!r}")
+        return (
+            self.e_elec * size_bits
+            + self.eps_amp * size_bits * distance**self.path_loss_exponent
+        )
+
+    def rx_cost(self, size_bits: int) -> float:
+        """Energy (J) to receive ``size_bits``."""
+        if size_bits < 0:
+            raise ConfigurationError(f"negative packet size {size_bits!r}")
+        return self.e_elec * size_bits
+
+    def idle_cost(self, duration: float) -> float:
+        """Energy (J) for ``duration`` seconds of idle listening."""
+        return self.idle_power * max(0.0, duration)
+
+
+@dataclass
+class Battery:
+    """A finite energy store with depletion callbacks.
+
+    ``capacity`` of ``float('inf')`` models a mains-powered node.
+    """
+
+    capacity: float = 2.0  # joules; typical mote experiment scale
+    remaining: float = field(default=-1.0)
+    _depletion_callbacks: List[Callable[[], None]] = field(
+        default_factory=list, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise ConfigurationError(f"battery capacity must be >= 0, got {self.capacity!r}")
+        if self.remaining < 0:
+            self.remaining = self.capacity
+
+    @property
+    def depleted(self) -> bool:
+        return self.remaining <= 0.0
+
+    @property
+    def fraction_remaining(self) -> float:
+        if self.capacity == float("inf"):
+            return 1.0
+        if self.capacity == 0:
+            return 0.0
+        return max(0.0, self.remaining / self.capacity)
+
+    def on_depleted(self, callback: Callable[[], None]) -> None:
+        """Register a callback fired once, when the battery first hits zero."""
+        self._depletion_callbacks.append(callback)
+
+    def drain(self, joules: float) -> bool:
+        """Consume energy; returns True if the node is still powered.
+
+        Draining an already-depleted battery is a no-op returning False.
+        The depletion callbacks fire exactly once, on the transition to empty.
+        """
+        if joules < 0:
+            raise ConfigurationError(f"cannot drain negative energy {joules!r}")
+        if self.depleted:
+            return False
+        self.remaining -= joules
+        if self.remaining <= 0.0:
+            self.remaining = 0.0
+            callbacks, self._depletion_callbacks = self._depletion_callbacks, []
+            for callback in callbacks:
+                callback()
+            return False
+        return True
+
+    def recharge(self, joules: float) -> None:
+        """Add energy up to capacity (used by energy-harvesting scenarios)."""
+        if joules < 0:
+            raise ConfigurationError(f"cannot recharge negative energy {joules!r}")
+        self.remaining = min(self.capacity, self.remaining + joules)
+
+
+def mains_battery() -> Battery:
+    """A battery that never depletes (wall-powered node)."""
+    return Battery(capacity=float("inf"))

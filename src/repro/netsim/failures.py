@@ -1,0 +1,137 @@
+"""Failure injection.
+
+Sections 3.4 and 3.8 of the paper are about surviving failures (graceful
+degradation, recovery). This module provides the failures to survive: node
+crashes and recoveries, link cuts, network partitions, and lossy periods —
+all scheduled deterministically on the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.netsim.network import Network
+from repro.util.rng import split_rng
+
+
+@dataclass
+class InjectedFault:
+    """Record of one injected fault, for experiment reporting."""
+
+    at: float
+    kind: str
+    target: str
+    detail: str = ""
+
+
+class FailureInjector:
+    """Schedules failures on a network; keeps an audit trail."""
+
+    def __init__(self, network: Network, seed: int = 0):
+        self.network = network
+        self._rng = split_rng(seed, "failures")
+        self.log: List[InjectedFault] = []
+
+    # -------------------------------------------------------------- crashes
+
+    def crash_at(self, when: float, node_id: str) -> None:
+        """Fail-stop a node at virtual time ``when``."""
+        self.network.sim.schedule_at(when, self._crash_now, node_id)
+
+    def recover_at(self, when: float, node_id: str) -> None:
+        """Restart a crashed node at virtual time ``when``."""
+        self.network.sim.schedule_at(when, self._recover_now, node_id)
+
+    def crash_and_recover(self, node_id: str, crash_at: float, downtime: float) -> None:
+        self.crash_at(crash_at, node_id)
+        self.recover_at(crash_at + downtime, node_id)
+
+    def _crash_now(self, node_id: str) -> None:
+        self.network.node(node_id).crash()
+        self.log.append(InjectedFault(self.network.sim.now(), "crash", node_id))
+
+    def _recover_now(self, node_id: str) -> None:
+        self.network.node(node_id).recover()
+        self.log.append(InjectedFault(self.network.sim.now(), "recover", node_id))
+
+    # ---------------------------------------------------------------- churn
+
+    def random_churn(
+        self,
+        node_ids: Sequence[str],
+        rate_per_node_s: float,
+        downtime_s: float,
+        until: float,
+    ) -> int:
+        """Schedule Poisson-ish crash/recover cycles on the given nodes.
+
+        Each node independently crashes with exponential inter-failure times
+        of mean ``1 / rate_per_node_s`` and stays down for ``downtime_s``.
+        Returns the number of scheduled crash events.
+        """
+        scheduled = 0
+        for node_id in node_ids:
+            t = self.network.sim.now()
+            while True:
+                t += self._rng.expovariate(rate_per_node_s)
+                if t >= until:
+                    break
+                self.crash_and_recover(node_id, t, downtime_s)
+                scheduled += 1
+                t += downtime_s
+        return scheduled
+
+    # ---------------------------------------------------------------- links
+
+    def cut_link_at(self, when: float, link_index: int, duration: Optional[float] = None) -> None:
+        """Cut the ``link_index``-th wired link; restore after ``duration``."""
+        link = self.network.links[link_index]
+
+        def cut() -> None:
+            link.set_up(False)
+            self.log.append(
+                InjectedFault(self.network.sim.now(), "link-cut", str(link.endpoints))
+            )
+
+        def restore() -> None:
+            link.set_up(True)
+            self.log.append(
+                InjectedFault(self.network.sim.now(), "link-restore", str(link.endpoints))
+            )
+
+        self.network.sim.schedule_at(when, cut)
+        if duration is not None:
+            self.network.sim.schedule_at(when + duration, restore)
+
+    # ------------------------------------------------------------ partitions
+
+    def partition_at(self, when: float, group: Sequence[str], duration: Optional[float] = None) -> None:
+        """Isolate ``group`` from the rest of the network.
+
+        Implemented by crashing an imaginary boundary: every node in the
+        group records its position and is moved far away, then moved back.
+        This cleanly severs radio connectivity without touching node state.
+        """
+        group = list(group)
+        saved = {}
+
+        def split() -> None:
+            for node_id in group:
+                node = self.network.node(node_id)
+                saved[node_id] = node.position
+                node.set_position(node.position.translate(1e9, 1e9))
+            self.log.append(
+                InjectedFault(self.network.sim.now(), "partition", ",".join(group))
+            )
+
+        def heal() -> None:
+            for node_id, position in saved.items():
+                self.network.node(node_id).set_position(position)
+            self.log.append(
+                InjectedFault(self.network.sim.now(), "heal", ",".join(group))
+            )
+
+        self.network.sim.schedule_at(when, split)
+        if duration is not None:
+            self.network.sim.schedule_at(when + duration, heal)

@@ -1,0 +1,111 @@
+"""Wireline point-to-point links (Ethernet/ATM stand-ins).
+
+Section 3.2 requires the middleware to bridge wireline and wireless
+technologies; :class:`WiredLink` is the wireline half. A link connects
+exactly two nodes, is full-duplex, and has bandwidth, propagation delay, and
+an optional loss probability. Wireline endpoints typically use
+:func:`repro.netsim.energy.mains_battery`, so no energy is charged here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+from repro.netsim.node import Node
+from repro.netsim.packet import Packet
+from repro.netsim.simulator import Simulator
+from repro.util.rng import split_rng
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Parameters of one wireline technology."""
+
+    name: str
+    bandwidth_bps: float
+    latency_s: float
+    loss_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ConfigurationError(f"bandwidth must be positive, got {self.bandwidth_bps!r}")
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise ConfigurationError(
+                f"loss probability must be in [0, 1), got {self.loss_probability!r}"
+            )
+
+
+#: 10 Mbps Ethernet (the embedded-device networks the paper mentions).
+ETHERNET_10M = LinkProfile(name="ethernet-10M", bandwidth_bps=10e6, latency_s=0.0005)
+
+#: ATM backbone-class link.
+ATM_155M = LinkProfile(name="atm-155M", bandwidth_bps=155e6, latency_s=0.002)
+
+
+class WiredLink:
+    """A full-duplex point-to-point link between two nodes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_a: Node,
+        node_b: Node,
+        profile: LinkProfile = ETHERNET_10M,
+        seed: int = 0,
+    ):
+        if node_a.node_id == node_b.node_id:
+            raise ConfigurationError("a link must connect two distinct nodes")
+        self.sim = sim
+        self.node_a = node_a
+        self.node_b = node_b
+        self.profile = profile
+        self._rng = split_rng(seed, f"link:{node_a.node_id}:{node_b.node_id}")
+        self._up = True
+        self.transmissions = 0
+        self.deliveries = 0
+        self.drops = 0
+
+    @property
+    def endpoints(self) -> Tuple[str, str]:
+        return (self.node_a.node_id, self.node_b.node_id)
+
+    @property
+    def up(self) -> bool:
+        return self._up
+
+    def set_up(self, up: bool) -> None:
+        """Cut or restore the link (partition injection)."""
+        self._up = up
+
+    def connects(self, node_id: str) -> bool:
+        return node_id in self.endpoints
+
+    def other_end(self, node_id: str) -> Node:
+        if node_id == self.node_a.node_id:
+            return self.node_b
+        if node_id == self.node_b.node_id:
+            return self.node_a
+        raise ConfigurationError(f"node {node_id!r} is not an endpoint of {self.endpoints}")
+
+    def transmit(self, sender_id: str, packet: Packet) -> bool:
+        """Send a packet to the other end; returns True if put on the wire."""
+        sender = self.other_end(self.other_end(sender_id).node_id)  # validates sender
+        if not self._up or not sender.alive:
+            return False
+        receiver = self.other_end(sender_id)
+        self.transmissions += 1
+        if self._rng.random() < self.profile.loss_probability:
+            self.drops += 1
+            return True
+        delay = self.profile.latency_s + packet.size_bits / self.profile.bandwidth_bps
+        self.sim.schedule(delay, self._deliver, receiver, packet)
+        return True
+
+    def _deliver(self, receiver: Node, packet: Packet) -> None:
+        if not self._up or not receiver.alive:
+            self.drops += 1
+            return
+        self.deliveries += 1
+        receiver.deliver(packet)

@@ -1,0 +1,188 @@
+"""The shared wireless medium.
+
+Models what the middleware's energy/overhead experiments need and nothing
+more: disk-model propagation (a technology-profile range), serialization
+delay from the profile's bandwidth, a Bernoulli per-reception loss process,
+and a bounded random contention delay standing in for MAC backoff. Energy is
+charged to the sender (distance-dependent amplifier term) and every in-range
+receiver (overhearing costs energy, which is exactly why MiLAN turns
+components off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.netsim.node import Node
+from repro.netsim.packet import Packet
+from repro.netsim.simulator import Simulator
+from repro.util.rng import split_rng
+
+
+@dataclass(frozen=True)
+class RadioProfile:
+    """Parameters of one wireless technology.
+
+    The stock profiles mirror the technologies named in Section 3.2 of the
+    paper (Bluetooth, IEEE 802.11) at their era-appropriate data rates.
+    """
+
+    name: str
+    bandwidth_bps: float
+    range_m: float
+    base_latency_s: float = 0.001
+    loss_probability: float = 0.0
+    contention_window_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ConfigurationError(f"bandwidth must be positive, got {self.bandwidth_bps!r}")
+        if self.range_m <= 0:
+            raise ConfigurationError(f"range must be positive, got {self.range_m!r}")
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise ConfigurationError(
+                f"loss probability must be in [0, 1), got {self.loss_probability!r}"
+            )
+
+    def serialization_delay(self, size_bits: int) -> float:
+        return size_bits / self.bandwidth_bps
+
+
+#: IEEE 802.11b-era profile.
+WIFI_80211 = RadioProfile(
+    name="802.11", bandwidth_bps=11e6, range_m=100.0, base_latency_s=0.001,
+    loss_probability=0.01, contention_window_s=0.002,
+)
+
+#: Bluetooth 1.1-era profile (piconet-scale range and rate).
+BLUETOOTH = RadioProfile(
+    name="bluetooth", bandwidth_bps=723e3, range_m=10.0, base_latency_s=0.005,
+    loss_probability=0.005, contention_window_s=0.001,
+)
+
+#: Idealized lossless short-range radio, for unit tests.
+IDEAL_RADIO = RadioProfile(
+    name="ideal", bandwidth_bps=1e9, range_m=1e6, base_latency_s=0.0001,
+)
+
+
+class WirelessMedium:
+    """A broadcast domain shared by attached nodes.
+
+    Determinism: the loss and contention processes draw from a stream derived
+    from ``(seed, "medium:<profile name>")``, independent of any other
+    randomness in the run.
+    """
+
+    def __init__(self, sim: Simulator, profile: RadioProfile = WIFI_80211, seed: int = 0):
+        self.sim = sim
+        self.profile = profile
+        self._nodes: Dict[str, Node] = {}
+        self._rng = split_rng(seed, f"medium:{profile.name}")
+        # Counters for the overhead experiments.
+        self.transmissions = 0
+        self.deliveries = 0
+        self.drops_out_of_range = 0
+        self.drops_loss = 0
+        self.drops_dead = 0
+        self.bytes_transmitted = 0
+
+    # ----------------------------------------------------------- membership
+
+    def attach(self, node: Node) -> None:
+        if node.node_id in self._nodes:
+            raise ConfigurationError(f"node {node.node_id!r} already attached")
+        self._nodes[node.node_id] = node
+
+    def detach(self, node_id: str) -> None:
+        self._nodes.pop(node_id, None)
+
+    def nodes(self) -> List[Node]:
+        return list(self._nodes.values())
+
+    def get_node(self, node_id: str) -> Optional[Node]:
+        return self._nodes.get(node_id)
+
+    def neighbors_of(self, node_id: str) -> List[Node]:
+        """Alive nodes currently within radio range of ``node_id``."""
+        origin = self._nodes.get(node_id)
+        if origin is None:
+            return []
+        return [
+            other
+            for other in self._nodes.values()
+            if other.node_id != node_id
+            and other.alive
+            and origin.distance_to(other) <= self.profile.range_m
+        ]
+
+    # ----------------------------------------------------------- transmission
+
+    def transmit(self, sender_id: str, packet: Packet) -> bool:
+        """Put a packet on the air.
+
+        Unicast packets are delivered to the destination if it is alive and
+        in range; broadcast packets to every alive node in range. Returns
+        True if the transmission was attempted (sender alive and powered) —
+        *not* whether anything was received; the radio gives no such
+        feedback, reliability is an upper-layer concern.
+        """
+        sender = self._nodes.get(sender_id)
+        if sender is None:
+            raise ConfigurationError(f"sender {sender_id!r} is not attached to the medium")
+        if not sender.alive:
+            return False
+
+        self.transmissions += 1
+        self.bytes_transmitted += packet.size_bytes
+
+        if packet.is_broadcast:
+            receivers = self.neighbors_of(sender_id)
+            tx_distance = self.profile.range_m
+        else:
+            target = self._nodes.get(packet.destination)
+            if target is None or not target.alive:
+                self.drops_dead += 1
+                receivers = []
+            elif sender.distance_to(target) > self.profile.range_m:
+                self.drops_out_of_range += 1
+                receivers = []
+            else:
+                receivers = [target]
+            tx_distance = (
+                sender.distance_to(target)
+                if target is not None
+                else self.profile.range_m
+            )
+
+        # The sender pays for the transmission whether or not anyone hears it.
+        still_powered = sender.charge_tx(packet.size_bits, tx_distance)
+        if not still_powered:
+            # Battery died mid-transmission: the frame never completes.
+            return True
+
+        delay = self.profile.base_latency_s + self.profile.serialization_delay(
+            packet.size_bits
+        )
+        for receiver in receivers:
+            per_rx_delay = delay
+            if self.profile.contention_window_s > 0:
+                per_rx_delay += self._rng.uniform(0, self.profile.contention_window_s)
+            if self._rng.random() < self.profile.loss_probability:
+                self.drops_loss += 1
+                continue
+            self.sim.schedule(per_rx_delay, self._deliver, receiver, packet)
+        return True
+
+    def _deliver(self, receiver: Node, packet: Packet) -> None:
+        if not receiver.alive:
+            self.drops_dead += 1
+            return
+        receiver.charge_rx(packet.size_bits)
+        if receiver.alive:
+            self.deliveries += 1
+            receiver.deliver(packet)
+        else:
+            self.drops_dead += 1

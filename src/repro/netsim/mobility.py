@@ -1,0 +1,149 @@
+"""Mobility models.
+
+Section 3.10 names mobility (physical and logical) as a first-class concern,
+and the handoff experiments (E7) need suppliers that actually move out of
+range. Models are pure functions of virtual time — ``position_at(t)`` — so
+they need no per-tick updates and remain exact under any event spacing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Tuple
+
+from repro.errors import ConfigurationError
+from repro.util.geometry import Point
+from repro.util.rng import split_rng
+
+
+class MobilityModel(Protocol):
+    """Anything that can report a position for a virtual time."""
+
+    def position_at(self, t: float) -> Point:
+        ...
+
+
+class StaticMobility:
+    """A fixed position (the default for infrastructure nodes)."""
+
+    def __init__(self, position: Point):
+        self._position = position
+
+    def position_at(self, t: float) -> Point:
+        return self._position
+
+
+class LinearMobility:
+    """Constant-velocity motion from a starting point.
+
+    Used for the "service moving out of range" scenario of Section 3.7.
+    """
+
+    def __init__(self, start: Point, velocity: Tuple[float, float], start_time: float = 0.0):
+        self.start = start
+        self.velocity = velocity
+        self.start_time = start_time
+
+    def position_at(self, t: float) -> Point:
+        dt = max(0.0, t - self.start_time)
+        return Point(
+            self.start.x + self.velocity[0] * dt,
+            self.start.y + self.velocity[1] * dt,
+        )
+
+
+class PathMobility:
+    """Piecewise-linear motion through explicit waypoints at constant speed.
+
+    The node stops at the final waypoint.
+    """
+
+    def __init__(self, waypoints: List[Point], speed: float, start_time: float = 0.0):
+        if len(waypoints) < 1:
+            raise ConfigurationError("path mobility needs at least one waypoint")
+        if speed <= 0:
+            raise ConfigurationError(f"speed must be positive, got {speed!r}")
+        self.waypoints = list(waypoints)
+        self.speed = speed
+        self.start_time = start_time
+        # Precompute segment arrival times.
+        self._arrivals = [start_time]
+        for previous, current in zip(self.waypoints, self.waypoints[1:]):
+            leg = previous.distance_to(current) / speed
+            self._arrivals.append(self._arrivals[-1] + leg)
+
+    def position_at(self, t: float) -> Point:
+        if t <= self.start_time or len(self.waypoints) == 1:
+            return self.waypoints[0]
+        if t >= self._arrivals[-1]:
+            return self.waypoints[-1]
+        for i in range(len(self.waypoints) - 1):
+            if t < self._arrivals[i + 1]:
+                elapsed = t - self._arrivals[i]
+                return self.waypoints[i].move_toward(
+                    self.waypoints[i + 1], self.speed * elapsed
+                )
+        return self.waypoints[-1]
+
+
+class RandomWaypointMobility:
+    """The classic random-waypoint model over a rectangular area.
+
+    The node repeatedly picks a uniform random destination and speed, walks
+    there, and pauses. Segments are generated lazily but deterministically
+    from the seed, so ``position_at`` is a pure function of (seed, t).
+    """
+
+    def __init__(
+        self,
+        area: Tuple[float, float],
+        seed: int,
+        speed_range: Tuple[float, float] = (0.5, 2.0),
+        pause_s: float = 1.0,
+        start: Point | None = None,
+    ):
+        if area[0] <= 0 or area[1] <= 0:
+            raise ConfigurationError(f"area must be positive, got {area!r}")
+        if speed_range[0] <= 0 or speed_range[1] < speed_range[0]:
+            raise ConfigurationError(f"bad speed range {speed_range!r}")
+        self.area = area
+        self.speed_range = speed_range
+        self.pause_s = pause_s
+        self._rng = split_rng(seed, "random-waypoint")
+        if start is None:
+            start = Point(
+                self._rng.uniform(0, area[0]), self._rng.uniform(0, area[1])
+            )
+        # Each segment: (depart_time, arrive_time, origin, destination).
+        # Between arrive_time and the next depart_time the node pauses.
+        self._segments: List[Tuple[float, float, Point, Point]] = []
+        self._horizon = 0.0
+        self._last_position = start
+
+    def _extend_to(self, t: float) -> None:
+        while self._horizon <= t:
+            depart = self._horizon + self.pause_s
+            destination = Point(
+                self._rng.uniform(0, self.area[0]),
+                self._rng.uniform(0, self.area[1]),
+            )
+            speed = self._rng.uniform(*self.speed_range)
+            travel = self._last_position.distance_to(destination) / speed
+            arrive = depart + travel
+            self._segments.append((depart, arrive, self._last_position, destination))
+            self._last_position = destination
+            self._horizon = arrive
+
+    def position_at(self, t: float) -> Point:
+        self._extend_to(t)
+        position = self._segments[0][2]
+        for depart, arrive, origin, destination in self._segments:
+            if t < depart:
+                return position  # pausing at the previous destination
+            if t <= arrive:
+                fraction = 0.0 if arrive == depart else (t - depart) / (arrive - depart)
+                return Point(
+                    origin.x + (destination.x - origin.x) * fraction,
+                    origin.y + (destination.y - origin.y) * fraction,
+                )
+            position = destination
+        return position

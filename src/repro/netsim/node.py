@@ -1,0 +1,141 @@
+"""Simulated nodes.
+
+A node is a position, a battery, a radio, and a packet handler. It is the
+single coupling point between the simulator and the middleware stack: the
+transport layer installs a handler with :meth:`Node.set_packet_handler` and
+sends via the medium/links it is attached to.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.errors import NodeDownError
+from repro.netsim.energy import Battery, RadioEnergyModel
+from repro.netsim.packet import Packet
+from repro.util.events import EventEmitter
+from repro.util.geometry import Point
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.netsim.mobility import MobilityModel
+    from repro.netsim.simulator import Simulator
+
+PacketHandler = Callable[["Node", Packet], None]
+
+
+class Node:
+    """A networked device in the simulation.
+
+    Events emitted (via :attr:`events`):
+
+    * ``"crashed"`` (node) — explicit failure injection.
+    * ``"depleted"`` (node) — battery hit zero.
+    * ``"recovered"`` (node) — restarted after a crash.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        sim: "Simulator",
+        position: Point = Point(0.0, 0.0),
+        battery: Optional[Battery] = None,
+        radio: Optional[RadioEnergyModel] = None,
+        mobility: Optional["MobilityModel"] = None,
+    ):
+        self.node_id = node_id
+        self.sim = sim
+        self.battery = battery if battery is not None else Battery(capacity=float("inf"))
+        self.radio = radio if radio is not None else RadioEnergyModel()
+        self.events = EventEmitter()
+        self._home_position = position
+        self._mobility = mobility
+        self._crashed = False
+        self._handler: Optional[PacketHandler] = None
+        self.packets_sent = 0
+        self.packets_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.battery.on_depleted(lambda: self.events.emit("depleted", self))
+
+    # ------------------------------------------------------------- liveness
+
+    @property
+    def alive(self) -> bool:
+        """True unless the node crashed or its battery is flat."""
+        return not self._crashed and not self.battery.depleted
+
+    def crash(self) -> None:
+        """Fail-stop the node (failure injection); idempotent."""
+        if self._crashed:
+            return
+        self._crashed = True
+        self.events.emit("crashed", self)
+
+    def recover(self) -> None:
+        """Restart a crashed node; volatile state above this layer is gone."""
+        if not self._crashed:
+            return
+        self._crashed = False
+        self.events.emit("recovered", self)
+
+    def ensure_alive(self) -> None:
+        if not self.alive:
+            raise NodeDownError(f"node {self.node_id!r} is down")
+
+    # ------------------------------------------------------------- position
+
+    @property
+    def position(self) -> Point:
+        """Current position; follows the mobility model if one is attached."""
+        if self._mobility is None:
+            return self._home_position
+        return self._mobility.position_at(self.sim.now())
+
+    def set_position(self, position: Point) -> None:
+        """Pin the node to a static position (detaches any mobility model)."""
+        self._home_position = position
+        self._mobility = None
+
+    def set_mobility(self, mobility: "MobilityModel") -> None:
+        self._mobility = mobility
+
+    def distance_to(self, other: "Node") -> float:
+        return self.position.distance_to(other.position)
+
+    # ---------------------------------------------------------------- radio
+
+    def set_packet_handler(self, handler: Optional[PacketHandler]) -> None:
+        """Install the upper-layer receive callback (one per node)."""
+        self._handler = handler
+
+    def deliver(self, packet: Packet) -> bool:
+        """Called by the medium/link when a packet arrives.
+
+        Returns True if the node was alive and the packet was handed to the
+        upper layer. Dead nodes silently drop traffic, as real ones do.
+        """
+        if not self.alive:
+            return False
+        self.packets_received += 1
+        self.bytes_received += packet.size_bytes
+        if self._handler is not None:
+            self._handler(self, packet)
+        return True
+
+    def charge_tx(self, size_bits: int, distance: float) -> bool:
+        """Account transmit energy; returns False if the battery died."""
+        self.packets_sent += 1
+        self.bytes_sent += size_bits // 8
+        return self.battery.drain(self.radio.tx_cost(size_bits, distance))
+
+    def charge_rx(self, size_bits: int) -> bool:
+        """Account receive energy; returns False if the battery died."""
+        return self.battery.drain(self.radio.rx_cost(size_bits))
+
+    def charge_sense(self) -> bool:
+        """Account one sensing operation."""
+        return self.battery.drain(self.radio.sense_energy)
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return f"<Node {self.node_id} {state} at {self.position}>"

@@ -1,0 +1,71 @@
+"""Packets: the unit of simulated communication.
+
+A packet carries an opaque payload plus the addressing and size metadata the
+medium needs. Payload bytes are never inspected by the simulator; size is
+explicit so upper layers can account header overhead honestly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Broadcast destination sentinel.
+BROADCAST = "*"
+
+#: Default link-layer header overhead charged per packet (bytes).
+HEADER_BYTES = 16
+
+_packet_seq = itertools.count()
+
+
+@dataclass
+class Packet:
+    """A simulated frame.
+
+    Attributes:
+        source: node id of the original sender.
+        destination: node id, or :data:`BROADCAST`.
+        payload: opaque application payload (any picklable object).
+        payload_bytes: accounted size of the payload.
+        headers: mutable per-hop metadata (route records, TTLs, ...).
+        packet_id: unique per-process id, for tracing and dedup.
+        hop_count: incremented by forwarding layers.
+    """
+
+    source: str
+    destination: str
+    payload: Any
+    payload_bytes: int
+    headers: Dict[str, Any] = field(default_factory=dict)
+    packet_id: int = field(default_factory=lambda: next(_packet_seq))
+    hop_count: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        """Total on-air size including link-layer header."""
+        return self.payload_bytes + HEADER_BYTES
+
+    @property
+    def size_bits(self) -> int:
+        return self.size_bytes * 8
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.destination == BROADCAST
+
+    def copy_for_forwarding(self, new_destination: Optional[str] = None) -> "Packet":
+        """Clone the packet for the next hop, bumping the hop count.
+
+        Headers are shallow-copied so per-hop mutation does not leak between
+        branches of a flood.
+        """
+        return Packet(
+            source=self.source,
+            destination=self.destination if new_destination is None else new_destination,
+            payload=self.payload,
+            payload_bytes=self.payload_bytes,
+            headers=dict(self.headers),
+            hop_count=self.hop_count + 1,
+        )

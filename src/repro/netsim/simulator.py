@@ -1,0 +1,191 @@
+"""The discrete-event simulation core.
+
+A :class:`Simulator` owns a virtual clock and a stable event queue. Events
+scheduled for the same instant fire in scheduling order, which (together with
+seeded RNGs everywhere else) makes whole-system runs reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+from repro.util.clock import ManualClock
+from repro.util.priorityqueue import StablePriorityQueue
+
+
+class EventHandle:
+    """Handle to a scheduled event; :meth:`cancel` prevents it from firing."""
+
+    __slots__ = ("_queue", "_entry", "time")
+
+    def __init__(self, queue: StablePriorityQueue, entry: List[Any], time: float):
+        self._queue = queue
+        self._entry = entry
+        self.time = time
+
+    def cancel(self) -> bool:
+        """Cancel the event; returns False if it already fired or was cancelled."""
+        return self._queue.cancel(self._entry)
+
+
+class Simulator:
+    """Event loop over virtual time.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.0, callback, arg)
+        sim.run_until(10.0)
+
+    Callbacks run synchronously; a callback may schedule further events. A
+    callback that raises aborts the run (errors never pass silently in the
+    substrate — failure *modeling* belongs in :mod:`repro.netsim.failures`).
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._clock = ManualClock(start_time)
+        self._queue: StablePriorityQueue[Callable[[], None]] = StablePriorityQueue()
+        self._running = False
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------ time
+
+    def now(self) -> float:
+        """Current virtual time in seconds (the Clock protocol)."""
+        return self._clock.now()
+
+    @property
+    def clock(self) -> ManualClock:
+        """The underlying clock, usable wherever a ``Clock`` is expected."""
+        return self._clock
+
+    # ------------------------------------------------------------- scheduling
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0 or math.isnan(delay):
+            raise SimulationError(f"cannot schedule event with delay {delay!r}")
+        return self.schedule_at(self.now() + delay, fn, *args)
+
+    def schedule_at(self, when: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` at absolute virtual time ``when``."""
+        if when < self.now():
+            raise SimulationError(
+                f"cannot schedule event in the past ({when!r} < {self.now()!r})"
+            )
+        thunk = (lambda: fn(*args)) if args else fn
+        entry = self._queue.push(when, thunk)
+        return EventHandle(self._queue, entry, when)
+
+    def schedule_every(
+        self,
+        interval: float,
+        fn: Callable[..., None],
+        *args: Any,
+        jitter_fn: Optional[Callable[[], float]] = None,
+        first_delay: Optional[float] = None,
+    ) -> "PeriodicEvent":
+        """Run ``fn(*args)`` every ``interval`` seconds until cancelled.
+
+        ``jitter_fn``, if given, is called before each firing and its result
+        is added to that firing's delay (pass a seeded-RNG closure for
+        deterministic jitter). ``first_delay`` overrides the delay before the
+        first firing (default: one full interval).
+        """
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be positive, got {interval!r}")
+        periodic = PeriodicEvent(self, interval, fn, args, jitter_fn)
+        periodic._arm(interval if first_delay is None else first_delay)
+        return periodic
+
+    # ---------------------------------------------------------------- running
+
+    def step(self) -> bool:
+        """Process the single next event; returns False if the queue is empty."""
+        try:
+            when, thunk = self._queue.pop()
+        except IndexError:
+            return False
+        self._clock.set(when)
+        self.events_processed += 1
+        thunk()
+        return True
+
+    def run_until(self, deadline: float) -> None:
+        """Process events with time <= deadline, then set the clock to deadline."""
+        while True:
+            popped = self._queue.pop_if_at_most(deadline)
+            if popped is None:
+                break
+            when, thunk = popped
+            self._clock.set(when)
+            self.events_processed += 1
+            thunk()
+        if deadline > self.now():
+            self._clock.set(deadline)
+
+    def run_for(self, duration: float) -> None:
+        """Process events for ``duration`` seconds of virtual time."""
+        self.run_until(self.now() + duration)
+
+    def run(self, max_events: int = 1_000_000) -> None:
+        """Run until the queue drains; raises if ``max_events`` is exceeded.
+
+        The cap catches accidental infinite event chains (e.g. an unjittered
+        retransmit loop) rather than hanging the test suite.
+        """
+        processed = 0
+        while self.step():
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events without draining"
+                )
+
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+
+class PeriodicEvent:
+    """A self-rearming event created by :meth:`Simulator.schedule_every`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        fn: Callable[..., None],
+        args: tuple,
+        jitter_fn: Optional[Callable[[], float]],
+    ):
+        self._sim = sim
+        self.interval = interval
+        self._fn = fn
+        self._args = args
+        self._jitter_fn = jitter_fn
+        self._handle: Optional[EventHandle] = None
+        self._cancelled = False
+        self.firings = 0
+
+    def _arm(self, delay: float) -> None:
+        if self._cancelled:
+            return
+        if self._jitter_fn is not None:
+            delay = max(0.0, delay + self._jitter_fn())
+        self._handle = self._sim.schedule(delay, self._fire)
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self.firings += 1
+        try:
+            self._fn(*self._args)
+        finally:
+            self._arm(self.interval)
+
+    def cancel(self) -> None:
+        """Stop future firings; idempotent."""
+        self._cancelled = True
+        if self._handle is not None:
+            self._handle.cancel()

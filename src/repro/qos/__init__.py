@@ -1,0 +1,49 @@
+"""Quality of Service (Section 3.4).
+
+The paper splits QoS three ways and this package mirrors that split:
+
+* **supplier QoS** — what a service can promise: availability, reliability,
+  latency, security requirements, power constraints
+  (:class:`~repro.qos.spec.SupplierQoS`);
+* **consumer QoS** — what an application needs, over time (benefit
+  functions, :mod:`repro.qos.benefit`) and space (spatial preferences,
+  :mod:`repro.qos.spatial`) (:class:`~repro.qos.spec.ConsumerQoS`);
+* **network QoS** — bandwidth, density, traffic
+  (:class:`~repro.qos.spec.NetworkQoS`).
+
+:func:`~repro.qos.spec.score_match` combines all three into the matching
+score used by service discovery, and :mod:`repro.qos.contract` /
+:mod:`repro.qos.monitor` provide the runtime side: contracts, violation
+detection, and the graceful-degradation manager.
+"""
+
+from repro.qos.benefit import (
+    BenefitFunction,
+    ConstantBenefit,
+    ExponentialDecayBenefit,
+    LinearDecayBenefit,
+    StepBenefit,
+)
+from repro.qos.contract import ContractTerms, QoSContract
+from repro.qos.monitor import DegradationManager, QoSMonitor
+from repro.qos.spatial import SpatialPreference, spatial_score
+from repro.qos.spec import ConsumerQoS, MatchScore, NetworkQoS, SupplierQoS, score_match
+
+__all__ = [
+    "BenefitFunction",
+    "ConstantBenefit",
+    "ExponentialDecayBenefit",
+    "LinearDecayBenefit",
+    "StepBenefit",
+    "ContractTerms",
+    "QoSContract",
+    "DegradationManager",
+    "QoSMonitor",
+    "SpatialPreference",
+    "spatial_score",
+    "ConsumerQoS",
+    "MatchScore",
+    "NetworkQoS",
+    "SupplierQoS",
+    "score_match",
+]

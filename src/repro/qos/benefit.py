@@ -1,0 +1,98 @@
+"""Benefit functions: the time dimension of consumer QoS.
+
+Section 3.4: "It should also include the time constraints of the QoS
+(benefit function). The application should receive the data immediately or
+with some small delay." A benefit function maps delivery delay to the value
+the application derives, in [0, 1]. Real-time applications use a hard
+:class:`StepBenefit`; e-mail-like applications use a gentle decay.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.errors import ConfigurationError
+
+
+@runtime_checkable
+class BenefitFunction(Protocol):
+    """Maps a delivery delay (seconds) to application benefit in [0, 1]."""
+
+    def value(self, delay_s: float) -> float:
+        ...
+
+
+@dataclass(frozen=True)
+class ConstantBenefit:
+    """Delay-insensitive (e-mail): full benefit whenever data arrives."""
+
+    level: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.level <= 1.0:
+            raise ConfigurationError(f"benefit level must be in [0,1], got {self.level!r}")
+
+    def value(self, delay_s: float) -> float:
+        return self.level
+
+
+@dataclass(frozen=True)
+class StepBenefit:
+    """Hard real-time: full benefit up to the deadline, zero after."""
+
+    deadline_s: float
+
+    def __post_init__(self) -> None:
+        if self.deadline_s <= 0:
+            raise ConfigurationError(f"deadline must be positive, got {self.deadline_s!r}")
+
+    def value(self, delay_s: float) -> float:
+        return 1.0 if delay_s <= self.deadline_s else 0.0
+
+
+@dataclass(frozen=True)
+class LinearDecayBenefit:
+    """Soft real-time: full benefit until ``full_until_s``, then a linear
+    ramp down to zero at ``zero_at_s``."""
+
+    full_until_s: float
+    zero_at_s: float
+
+    def __post_init__(self) -> None:
+        if self.full_until_s < 0:
+            raise ConfigurationError(f"full_until must be >= 0, got {self.full_until_s!r}")
+        if self.zero_at_s <= self.full_until_s:
+            raise ConfigurationError(
+                f"zero_at ({self.zero_at_s!r}) must exceed full_until ({self.full_until_s!r})"
+            )
+
+    def value(self, delay_s: float) -> float:
+        if delay_s <= self.full_until_s:
+            return 1.0
+        if delay_s >= self.zero_at_s:
+            return 0.0
+        span = self.zero_at_s - self.full_until_s
+        return 1.0 - (delay_s - self.full_until_s) / span
+
+
+@dataclass(frozen=True)
+class ExponentialDecayBenefit:
+    """Freshness-valuing: benefit halves every ``half_life_s``."""
+
+    half_life_s: float
+
+    def __post_init__(self) -> None:
+        if self.half_life_s <= 0:
+            raise ConfigurationError(f"half life must be positive, got {self.half_life_s!r}")
+
+    def value(self, delay_s: float) -> float:
+        if delay_s <= 0:
+            return 1.0
+        return math.pow(0.5, delay_s / self.half_life_s)
+
+
+def expected_benefit(fn: BenefitFunction, expected_delay_s: float) -> float:
+    """Benefit at the expected delay, clamped into [0, 1] defensively."""
+    return min(1.0, max(0.0, fn.value(max(0.0, expected_delay_s))))

@@ -1,0 +1,233 @@
+"""QoS specifications and the three-way match.
+
+Section 3.4 enumerates what each party brings to a match:
+
+* the **supplier**: required connections, security access, power
+  constraints, availability;
+* the **consumer**: service/attribute needs over time and space, benefit
+  (time-constraint) functions;
+* the **network**: "mainly related to bandwidth issues, but network density
+  and traffic patterns can be considered as well".
+
+:func:`score_match` is the single place these meet. Hard constraints
+(security, reliability floor, latency ceiling, spatial cutoff, bandwidth)
+make a match infeasible; soft terms combine into a weighted score that
+discovery uses to rank feasible suppliers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.qos.benefit import BenefitFunction, ConstantBenefit, expected_benefit
+from repro.qos.spatial import SpatialPreference
+
+
+def _check_unit(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+
+
+@dataclass(frozen=True)
+class SupplierQoS:
+    """What a service supplier promises and requires.
+
+    Attributes:
+        reliability: probability a request yields correct data, in [0, 1].
+        availability: long-run fraction of time the service is up.
+        expected_latency_s: typical response latency the supplier can meet.
+        bandwidth_bps: bandwidth one active consumer costs the network.
+        battery_powered: True for energy-constrained suppliers.
+        battery_fraction: remaining energy fraction (None when mains-powered).
+        requires_password: consumer must present a credential.
+        encrypted: transport encryption is applied (adds latency, satisfies
+            consumers that demand encryption).
+        properties: free-form extra attributes, matched by discovery.
+    """
+
+    reliability: float = 1.0
+    availability: float = 1.0
+    expected_latency_s: float = 0.01
+    bandwidth_bps: float = 0.0
+    battery_powered: bool = False
+    battery_fraction: Optional[float] = None
+    requires_password: bool = False
+    encrypted: bool = False
+    properties: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _check_unit("reliability", self.reliability)
+        _check_unit("availability", self.availability)
+        if self.expected_latency_s < 0:
+            raise ConfigurationError(
+                f"latency must be >= 0, got {self.expected_latency_s!r}"
+            )
+        if self.battery_fraction is not None:
+            _check_unit("battery fraction", self.battery_fraction)
+
+
+@dataclass(frozen=True)
+class ConsumerQoS:
+    """What a service consumer needs.
+
+    Attributes:
+        min_reliability / min_availability: hard floors.
+        max_latency_s: hard ceiling on expected latency (None = don't care).
+        benefit: time-constraint function over delivery delay.
+        spatial: spatial preference (None = logical matching only —
+            exactly the deficiency experiment E3 demonstrates).
+        require_encryption: hard security constraint.
+        password: credential presented to password-protected suppliers.
+        prefer_mains_power: softly prefer wall-powered suppliers, so battery
+            nodes are spared (feeds MiLAN's energy goal).
+        weights: relative weights of the soft terms; keys among
+            {"reliability", "availability", "benefit", "spatial", "power"}.
+    """
+
+    min_reliability: float = 0.0
+    min_availability: float = 0.0
+    max_latency_s: Optional[float] = None
+    benefit: BenefitFunction = ConstantBenefit()
+    spatial: Optional[SpatialPreference] = None
+    require_encryption: bool = False
+    password: Optional[str] = None
+    prefer_mains_power: bool = False
+    weights: Dict[str, float] = field(
+        default_factory=lambda: {
+            "reliability": 1.0,
+            "availability": 0.5,
+            "benefit": 1.0,
+            "spatial": 1.0,
+            "power": 0.5,
+        }
+    )
+
+    def __post_init__(self) -> None:
+        _check_unit("min reliability", self.min_reliability)
+        _check_unit("min availability", self.min_availability)
+        if self.max_latency_s is not None and self.max_latency_s <= 0:
+            raise ConfigurationError(
+                f"max latency must be positive, got {self.max_latency_s!r}"
+            )
+        for key, weight in self.weights.items():
+            if weight < 0:
+                raise ConfigurationError(f"weight {key!r} must be >= 0, got {weight!r}")
+
+
+@dataclass(frozen=True)
+class NetworkQoS:
+    """Network-side constraints at match time.
+
+    Attributes:
+        available_bandwidth_bps: headroom on the path (None = unconstrained).
+        density: nodes per radio neighborhood (drives adaptive discovery).
+        traffic_load: utilization estimate in [0, 1]; inflates expected
+            latency multiplicatively.
+    """
+
+    available_bandwidth_bps: Optional[float] = None
+    density: float = 0.0
+    traffic_load: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_unit("traffic load", self.traffic_load)
+        if self.density < 0:
+            raise ConfigurationError(f"density must be >= 0, got {self.density!r}")
+
+
+@dataclass(frozen=True)
+class MatchScore:
+    """Result of a feasible match: total plus per-term breakdown."""
+
+    total: float
+    terms: Dict[str, float]
+
+
+#: A neutral network when callers have no network information.
+UNCONSTRAINED_NETWORK = NetworkQoS()
+
+
+def score_match(
+    supplier: SupplierQoS,
+    consumer: ConsumerQoS,
+    network: NetworkQoS = UNCONSTRAINED_NETWORK,
+    distance_m: Optional[float] = None,
+) -> Optional[MatchScore]:
+    """Score a (supplier, consumer) pair under network conditions.
+
+    Returns None when any hard constraint fails; otherwise a
+    :class:`MatchScore` whose total is the weighted mean of the soft terms,
+    in [0, 1]. ``distance_m`` is required for consumers with a spatial
+    preference — passing None there is the "logical location only" mode.
+    """
+    # --- hard constraints ---------------------------------------------------
+    if supplier.reliability < consumer.min_reliability:
+        return None
+    if supplier.availability < consumer.min_availability:
+        return None
+    if consumer.require_encryption and not supplier.encrypted:
+        return None
+    if supplier.requires_password and consumer.password is None:
+        return None
+    effective_latency = supplier.expected_latency_s * (1.0 + network.traffic_load)
+    if consumer.max_latency_s is not None and effective_latency > consumer.max_latency_s:
+        return None
+    if (
+        network.available_bandwidth_bps is not None
+        and supplier.bandwidth_bps > network.available_bandwidth_bps
+    ):
+        return None
+    if (
+        consumer.spatial is not None
+        and distance_m is not None
+        and not consumer.spatial.feasible(distance_m)
+    ):
+        return None
+
+    # --- soft terms ----------------------------------------------------------
+    terms: Dict[str, float] = {
+        "reliability": supplier.reliability,
+        "availability": supplier.availability,
+        "benefit": expected_benefit(consumer.benefit, effective_latency),
+    }
+    if consumer.spatial is not None and distance_m is not None:
+        terms["spatial"] = consumer.spatial.score(distance_m)
+    if consumer.prefer_mains_power:
+        if supplier.battery_powered:
+            terms["power"] = (
+                supplier.battery_fraction if supplier.battery_fraction is not None else 0.5
+            )
+        else:
+            terms["power"] = 1.0
+
+    weighted_sum = 0.0
+    weight_total = 0.0
+    for name, value in terms.items():
+        weight = consumer.weights.get(name, 1.0)
+        if name == "spatial" and consumer.spatial is not None:
+            weight *= consumer.spatial.weight
+        weighted_sum += weight * value
+        weight_total += weight
+    total = weighted_sum / weight_total if weight_total > 0 else 0.0
+    return MatchScore(total=total, terms=terms)
+
+
+def rank_matches(
+    candidates: List[tuple],
+    consumer: ConsumerQoS,
+    network: NetworkQoS = UNCONSTRAINED_NETWORK,
+) -> List[tuple]:
+    """Rank ``(key, SupplierQoS, distance_m)`` triples by match score, best first.
+
+    Infeasible candidates are dropped. Returns ``(key, MatchScore)`` pairs.
+    Ties break by key for determinism.
+    """
+    scored = []
+    for key, supplier, distance_m in candidates:
+        match = score_match(supplier, consumer, network, distance_m)
+        if match is not None:
+            scored.append((key, match))
+    scored.sort(key=lambda pair: (-pair[1].total, str(pair[0])))
+    return scored

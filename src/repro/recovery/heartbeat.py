@@ -1,0 +1,133 @@
+"""Heartbeat failure detection.
+
+Every monitored peer sends periodic heartbeats; the detector suspects a
+peer after ``timeout_multiplier`` missed intervals and unsuspects on the
+next heartbeat. This is the standard eventually-perfect-detector
+construction under partial synchrony — good enough to drive failover in
+:mod:`repro.recovery.replication` and rebinding in the QoS degradation
+manager.
+
+Wire format: ``{"op": "hb", "from": node, "seq": n}`` (fire-and-forget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.errors import ConfigurationError
+from repro.interop.codec import Codec, get_codec
+from repro.transport.base import Address, Transport
+from repro.util.events import EventEmitter
+
+
+@dataclass
+class PeerState:
+    last_heard: float
+    last_seq: int
+    suspected: bool = False
+
+
+class HeartbeatDetector:
+    """Sends own heartbeats and watches peers' (both optional).
+
+    Events (via :attr:`events`): ``"suspect"`` (peer node id),
+    ``"alive"`` (peer node id) on recovery from suspicion.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        interval_s: float = 1.0,
+        timeout_multiplier: float = 3.0,
+        codec: Optional[Codec] = None,
+    ):
+        if interval_s <= 0:
+            raise ConfigurationError(f"interval must be positive, got {interval_s!r}")
+        if timeout_multiplier < 1.0:
+            raise ConfigurationError(
+                f"timeout multiplier must be >= 1, got {timeout_multiplier!r}"
+            )
+        self.transport = transport
+        self.interval_s = interval_s
+        self.timeout_s = interval_s * timeout_multiplier
+        self.codec = codec if codec is not None else get_codec("binary")
+        self.events = EventEmitter()
+        self._targets: List[Address] = []
+        self._watched: Dict[str, PeerState] = {}
+        self._seq = 0
+        self.heartbeats_sent = 0
+        transport.set_receiver(self._on_message)
+        self._beat_timer = transport.scheduler.schedule(interval_s, self._beat)
+        self._check_timer = transport.scheduler.schedule(interval_s, self._check)
+
+    # ----------------------------------------------------------- membership
+
+    def send_to(self, peer: Address) -> None:
+        """Start heartbeating toward a peer."""
+        if peer not in self._targets:
+            self._targets.append(peer)
+
+    def watch(self, node_id: str) -> None:
+        """Start monitoring heartbeats from a node."""
+        if node_id not in self._watched:
+            self._watched[node_id] = PeerState(
+                last_heard=self.transport.scheduler.now(), last_seq=-1
+            )
+
+    def unwatch(self, node_id: str) -> None:
+        self._watched.pop(node_id, None)
+
+    # -------------------------------------------------------------- queries
+
+    def suspected(self, node_id: str) -> bool:
+        state = self._watched.get(node_id)
+        return state.suspected if state is not None else False
+
+    def alive_peers(self) -> Set[str]:
+        return {n for n, s in self._watched.items() if not s.suspected}
+
+    # -------------------------------------------------------------- plumbing
+
+    def _beat(self) -> None:
+        if self.transport.closed:
+            return
+        self._seq += 1
+        frame = self.codec.encode(
+            {"op": "hb", "from": self.transport.local_address.node, "seq": self._seq}
+        )
+        for peer in self._targets:
+            self.heartbeats_sent += 1
+            self.transport.send(peer, frame)
+        self._beat_timer = self.transport.scheduler.schedule(self.interval_s, self._beat)
+
+    def _check(self) -> None:
+        if self.transport.closed:
+            return
+        now = self.transport.scheduler.now()
+        for node_id, state in self._watched.items():
+            if not state.suspected and now - state.last_heard > self.timeout_s:
+                state.suspected = True
+                self.events.emit("suspect", node_id)
+        self._check_timer = self.transport.scheduler.schedule(self.interval_s, self._check)
+
+    def _on_message(self, source: Address, payload: bytes) -> None:
+        message = self.codec.decode(payload)
+        if message.get("op") != "hb":
+            return
+        node_id = message.get("from")
+        state = self._watched.get(node_id)
+        if state is None:
+            return
+        seq = message.get("seq", 0)
+        if seq <= state.last_seq:
+            return  # stale or duplicated heartbeat
+        state.last_seq = seq
+        state.last_heard = self.transport.scheduler.now()
+        if state.suspected:
+            state.suspected = False
+            self.events.emit("alive", node_id)
+
+    def stop(self) -> None:
+        self._beat_timer.cancel()
+        self._check_timer.cancel()

@@ -1,0 +1,225 @@
+"""Primary-backup replication with client-driven failover.
+
+The "sophisticated" end of Section 3.8's recovery spectrum, combined with
+the reliability middleware of the literature review ([48, 56]): a
+:class:`PrimaryReplica` applies writes, forwards them (with sequence
+numbers) to :class:`BackupReplica` peers, and acknowledges the client after
+``ack_quorum`` backups confirm. A :class:`ReplicationClient` talks to the
+first live replica in its list: when the primary stops answering it retries
+down the list, and a backup asked to serve promotes itself (it has every
+acknowledged write, by the quorum rule with ack_quorum == number of
+backups).
+
+Protocol (codec dicts)::
+
+    client write: {"op": "w", "rid", "key", "value"}
+    client read:  {"op": "r", "rid", "key"}
+    replicate:    {"op": "repl", "seq", "key", "value"}
+    repl ack:     {"op": "repl_ack", "seq"}
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.errors import DeliveryError
+from repro.interop.codec import Codec, get_codec
+from repro.transport.base import Address, Transport
+from repro.util.ids import IdGenerator
+from repro.util.promise import Promise
+
+
+@dataclass
+class _PendingWrite:
+    source: Address
+    rid: Any
+    key: str
+    value: Any
+    acks: Set[str] = field(default_factory=set)
+
+
+class _ReplicaBase:
+    def __init__(self, transport: Transport, codec: Optional[Codec]):
+        self.transport = transport
+        self.codec = codec if codec is not None else get_codec("binary")
+        self.data: Dict[str, Any] = {}
+        self.applied_seq = 0
+
+    def _send(self, destination: Address, message: Dict[str, Any]) -> None:
+        self.transport.send(destination, self.codec.encode(message))
+
+
+class PrimaryReplica(_ReplicaBase):
+    """The write coordinator."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        backups: List[Address],
+        ack_quorum: Optional[int] = None,
+        codec: Optional[Codec] = None,
+    ):
+        super().__init__(transport, codec)
+        self.backups = list(backups)
+        self.ack_quorum = len(backups) if ack_quorum is None else ack_quorum
+        self._pending: Dict[int, _PendingWrite] = {}
+        self.writes_applied = 0
+        transport.set_receiver(self._on_message)
+
+    def _on_message(self, source: Address, payload: bytes) -> None:
+        message = self.codec.decode(payload)
+        op = message.get("op")
+        if op == "w":
+            self._handle_write(source, message)
+        elif op == "r":
+            self._send(
+                source,
+                {"op": "r_ack", "rid": message["rid"],
+                 "value": self.data.get(message["key"]), "role": "primary"},
+            )
+        elif op == "repl_ack":
+            self._handle_repl_ack(source, message)
+
+    def _handle_write(self, source: Address, message: Dict[str, Any]) -> None:
+        self.applied_seq += 1
+        seq = self.applied_seq
+        key, value = message["key"], message["value"]
+        self.data[key] = value
+        self.writes_applied += 1
+        pending = _PendingWrite(source, message["rid"], key, value)
+        self._pending[seq] = pending
+        # Replication always happens; the quorum only controls when the
+        # client is acknowledged (0 = immediately, asynchronous replication).
+        for backup in self.backups:
+            self._send(backup, {"op": "repl", "seq": seq, "key": key, "value": value})
+        if self.ack_quorum == 0 or not self.backups:
+            self._acknowledge(seq)
+
+    def _handle_repl_ack(self, source: Address, message: Dict[str, Any]) -> None:
+        pending = self._pending.get(message["seq"])
+        if pending is None:
+            return
+        pending.acks.add(str(source))
+        if len(pending.acks) >= self.ack_quorum:
+            self._acknowledge(message["seq"])
+
+    def _acknowledge(self, seq: int) -> None:
+        pending = self._pending.pop(seq, None)
+        if pending is None:
+            return
+        self._send(
+            pending.source,
+            {"op": "w_ack", "rid": pending.rid, "seq": seq, "role": "primary"},
+        )
+
+
+class BackupReplica(_ReplicaBase):
+    """Applies replicated writes in sequence order; serves reads (and, after
+    promotion, writes) if clients fail over to it."""
+
+    def __init__(self, transport: Transport, codec: Optional[Codec] = None):
+        super().__init__(transport, codec)
+        self.promoted = False
+        # Out-of-order replication buffer: seq -> (key, value).
+        self._buffer: Dict[int, Tuple[str, Any]] = {}
+        transport.set_receiver(self._on_message)
+
+    def _on_message(self, source: Address, payload: bytes) -> None:
+        message = self.codec.decode(payload)
+        op = message.get("op")
+        if op == "repl":
+            self._buffer[message["seq"]] = (message["key"], message["value"])
+            self._apply_in_order()
+            self._send(source, {"op": "repl_ack", "seq": message["seq"]})
+        elif op == "r":
+            self._send(
+                source,
+                {"op": "r_ack", "rid": message["rid"],
+                 "value": self.data.get(message["key"]),
+                 "role": "backup" if not self.promoted else "primary"},
+            )
+        elif op == "w":
+            # A write reaching a backup means the client failed over:
+            # promote and serve (single-backup failover model).
+            self.promoted = True
+            self.applied_seq += 1
+            self.data[message["key"]] = message["value"]
+            self._send(
+                source,
+                {"op": "w_ack", "rid": message["rid"], "seq": self.applied_seq,
+                 "role": "promoted"},
+            )
+
+    def _apply_in_order(self) -> None:
+        while self.applied_seq + 1 in self._buffer:
+            seq = self.applied_seq + 1
+            key, value = self._buffer.pop(seq)
+            self.data[key] = value
+            self.applied_seq = seq
+
+
+class ReplicationClient:
+    """Writes/reads against the replica group, failing over down the list."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        replicas: List[Address],
+        codec: Optional[Codec] = None,
+        request_timeout_s: float = 1.0,
+    ):
+        self.transport = transport
+        self.replicas = list(replicas)
+        self.codec = codec if codec is not None else get_codec("binary")
+        self.request_timeout_s = request_timeout_s
+        self._rids = IdGenerator(f"repl:{transport.local_address}")
+        # rid -> (promise, message dict, replica index)
+        self._pending: Dict[str, Tuple[Promise, Dict[str, Any], int]] = {}
+        self.failovers = 0
+        transport.set_receiver(self._on_message)
+
+    def write(self, key: str, value: Any) -> Promise:
+        return self._request({"op": "w", "key": key, "value": value})
+
+    def read(self, key: str) -> Promise:
+        return self._request({"op": "r", "key": key})
+
+    def _request(self, message: Dict[str, Any]) -> Promise:
+        rid = self._rids.next()
+        message["rid"] = rid
+        promise: Promise = Promise()
+        self._pending[rid] = (promise, message, 0)
+        self._transmit(rid)
+        return promise
+
+    def _transmit(self, rid: str) -> None:
+        promise, message, index = self._pending[rid]
+        self.transport.send(self.replicas[index], self.codec.encode(message))
+        self.transport.scheduler.schedule(self.request_timeout_s, self._timeout, rid, index)
+
+    def _timeout(self, rid: str, index_at_send: int) -> None:
+        entry = self._pending.get(rid)
+        if entry is None:
+            return
+        promise, message, index = entry
+        if index != index_at_send:
+            return  # already failed over since this timer was set
+        if index + 1 < len(self.replicas):
+            self.failovers += 1
+            self._pending[rid] = (promise, message, index + 1)
+            self._transmit(rid)
+            return
+        del self._pending[rid]
+        promise.reject(DeliveryError(f"no replica answered request {rid}"))
+
+    def _on_message(self, source: Address, payload: bytes) -> None:
+        message = self.codec.decode(payload)
+        entry = self._pending.pop(message.get("rid"), None)
+        if entry is None:
+            return
+        promise, _message, _index = entry
+        if message.get("op") == "w_ack":
+            promise.fulfill({"seq": message.get("seq"), "role": message.get("role")})
+        else:
+            promise.fulfill(message.get("value"))

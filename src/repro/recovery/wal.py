@@ -1,0 +1,194 @@
+"""Write-ahead logging over stable storage.
+
+:class:`StableStorage` is the piece of the world that survives a crash: in
+the simulation it is simply an object the crashed component does *not* own,
+with optional corruption injection for the recovery tests. The
+:class:`WriteAheadLog` appends checksummed records to it; on recovery the
+log is scanned forward and the first integrity violation truncates the tail
+(a half-written record at crash time must not poison recovery).
+
+Record kinds used by the transactional store: ``BEGIN``, ``UPDATE`` (with
+before/after images), ``COMMIT``, ``ABORT``, ``CHECKPOINT``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import LogCorruptionError
+from repro.interop.codec import BinaryCodec
+
+BEGIN = "BEGIN"
+UPDATE = "UPDATE"
+COMMIT = "COMMIT"
+ABORT = "ABORT"
+CHECKPOINT = "CHECKPOINT"
+
+_codec = BinaryCodec()
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One durable log entry."""
+
+    lsn: int
+    kind: str
+    txid: Optional[str] = None
+    key: Optional[str] = None
+    before: Any = None
+    after: Any = None
+    payload: Any = None  # checkpoint snapshots, etc.
+
+    def encode(self) -> bytes:
+        body = _codec.encode(
+            {
+                "lsn": self.lsn,
+                "kind": self.kind,
+                "txid": self.txid,
+                "key": self.key,
+                "before": self.before,
+                "after": self.after,
+                "payload": self.payload,
+            }
+        )
+        checksum = zlib.crc32(body)
+        return checksum.to_bytes(4, "big") + body
+
+    @staticmethod
+    def decode(raw: bytes) -> "LogRecord":
+        if len(raw) < 4:
+            raise LogCorruptionError("log record too short for checksum")
+        expected = int.from_bytes(raw[:4], "big")
+        body = raw[4:]
+        if zlib.crc32(body) != expected:
+            raise LogCorruptionError("log record checksum mismatch")
+        fields = _codec.decode(body)
+        return LogRecord(
+            lsn=fields["lsn"],
+            kind=fields["kind"],
+            txid=fields.get("txid"),
+            key=fields.get("key"),
+            before=fields.get("before"),
+            after=fields.get("after"),
+            payload=fields.get("payload"),
+        )
+
+
+@dataclass
+class StableStorage:
+    """Crash-surviving storage: an append-only list of encoded records.
+
+    Failure injection: :meth:`corrupt_tail` flips bytes in the last record,
+    :meth:`truncate` models a torn write.
+    """
+
+    blobs: List[bytes] = field(default_factory=list)
+
+    def append(self, blob: bytes) -> None:
+        self.blobs.append(blob)
+
+    def __len__(self) -> int:
+        return len(self.blobs)
+
+    def corrupt_tail(self) -> None:
+        if not self.blobs:
+            return
+        last = bytearray(self.blobs[-1])
+        last[-1] ^= 0xFF
+        self.blobs[-1] = bytes(last)
+
+    def truncate(self, keep: int) -> None:
+        del self.blobs[keep:]
+
+
+class WriteAheadLog:
+    """Appends and scans checksummed records on stable storage.
+
+    Opening the log repairs a torn tail: blobs from the first corrupt one
+    onward are discarded, exactly as a database truncates a half-written
+    tail at restart. Without this, a record appended *after* a corrupt blob
+    would be invisible to every future scan — silent data loss.
+    """
+
+    def __init__(self, storage: Optional[StableStorage] = None):
+        self.storage = storage if storage is not None else StableStorage()
+        self.truncated_on_open = self._repair_tail()
+        self._next_lsn = self._scan_next_lsn()
+
+    def _repair_tail(self) -> int:
+        """Drop blobs from the first corrupt one; returns how many."""
+        valid = 0
+        for blob in self.storage.blobs:
+            try:
+                LogRecord.decode(blob)
+            except LogCorruptionError:
+                break
+            valid += 1
+        dropped = len(self.storage.blobs) - valid
+        if dropped:
+            self.storage.truncate(valid)
+        return dropped
+
+    def _scan_next_lsn(self) -> int:
+        highest = 0
+        for record in self.scan():
+            highest = max(highest, record.lsn)
+        return highest + 1
+
+    # --------------------------------------------------------------- writing
+
+    def append(
+        self,
+        kind: str,
+        txid: Optional[str] = None,
+        key: Optional[str] = None,
+        before: Any = None,
+        after: Any = None,
+        payload: Any = None,
+    ) -> LogRecord:
+        record = LogRecord(self._next_lsn, kind, txid, key, before, after, payload)
+        self._next_lsn += 1
+        self.storage.append(record.encode())
+        return record
+
+    # --------------------------------------------------------------- reading
+
+    def scan(self, from_lsn: int = 0) -> Iterator[LogRecord]:
+        """Yield records with lsn >= from_lsn, stopping at the first
+        corrupt entry (the torn tail) — records before it are intact
+        because the log is append-only."""
+        for blob in self.storage.blobs:
+            try:
+                record = LogRecord.decode(blob)
+            except LogCorruptionError:
+                return
+            if record.lsn >= from_lsn:
+                yield record
+
+    def last_checkpoint(self) -> Optional[LogRecord]:
+        found: Optional[LogRecord] = None
+        for record in self.scan():
+            if record.kind == CHECKPOINT:
+                found = record
+        return found
+
+    def records(self) -> List[LogRecord]:
+        return list(self.scan())
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.scan())
+
+
+def committed_transactions(records: List[LogRecord]) -> Dict[str, bool]:
+    """Map txid -> committed? over a record list (analysis pass)."""
+    outcome: Dict[str, bool] = {}
+    for record in records:
+        if record.kind == BEGIN and record.txid is not None:
+            outcome.setdefault(record.txid, False)
+        elif record.kind == COMMIT and record.txid is not None:
+            outcome[record.txid] = True
+        elif record.kind == ABORT and record.txid is not None:
+            outcome[record.txid] = False
+    return outcome

@@ -1,0 +1,315 @@
+"""The routing layer's chassis: agents, envelopes, and routed transports.
+
+One :class:`RoutingAgent` runs per node, bound to the reserved ``route``
+port. Upper layers open :class:`RoutedTransport` ports *through* the agent;
+sends become :class:`Envelope` frames forwarded hop-by-hop according to the
+node's :class:`Router` strategy. When an envelope reaches its destination
+node the agent injects the inner payload into the target port, so the upper
+layer cannot tell a multi-hop path from a direct one — which is exactly what
+lets discovery, RPC, and MiLAN run unchanged over any routing strategy.
+
+Envelope wire form (codec dict, kept terse because every byte is charged to
+the radio)::
+
+    {"s": "src node:port", "d": "dst node:port", "t": ttl,
+     "q": seq, "b": payload bytes [, "r": [source route]]}
+
+Control traffic (router-specific, e.g. DSR RREQ/RREP) uses ``{"c": ...}``
+dicts on the same port and is handed to the router.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, NoRouteError
+from repro.interop.codec import Codec, get_codec
+from repro.transport.base import Address, Scheduler, Transport
+from repro.transport.simnet import BROADCAST_NODE, SimFabric, SimTransport
+from repro.util.ids import SequenceGenerator
+
+ROUTE_PORT = "route"
+DEFAULT_TTL = 32
+
+
+@dataclass
+class Envelope:
+    """A multi-hop datagram."""
+
+    source: Address
+    destination: Address
+    ttl: int
+    seq: int
+    payload: bytes
+    route: Optional[List[str]] = None  # explicit source route, if any
+
+    def to_dict(self) -> Dict[str, Any]:
+        message: Dict[str, Any] = {
+            "s": str(self.source),
+            "d": str(self.destination),
+            "t": self.ttl,
+            "q": self.seq,
+            "b": self.payload,
+        }
+        if self.route is not None:
+            message["r"] = list(self.route)
+        return message
+
+    @staticmethod
+    def from_dict(message: Dict[str, Any]) -> "Envelope":
+        return Envelope(
+            source=Address.parse(message["s"]),
+            destination=Address.parse(message["d"]),
+            ttl=message["t"],
+            seq=message["q"],
+            payload=message["b"],
+            route=list(message["r"]) if "r" in message else None,
+        )
+
+
+#: What a router tells the agent to do with an envelope.
+#: ("forward", next_hop) / ("flood", None) / ("queued", None) / ("drop", why)
+Disposition = Tuple[str, Optional[str]]
+
+
+class Router(abc.ABC):
+    """A per-node routing strategy."""
+
+    def attach(self, agent: "RoutingAgent") -> None:
+        """Called once when installed; override to keep the agent handle."""
+        self.agent = agent
+
+    @abc.abstractmethod
+    def route(self, envelope: Envelope) -> Disposition:
+        """Decide the fate of an envelope not addressed to this node."""
+
+    def handle_control(self, source: Address, message: Dict[str, Any]) -> None:
+        """Process router-specific control traffic (default: ignore)."""
+
+    def handle_broken_link(self, envelope: Envelope, next_hop: str) -> Disposition:
+        """The link-layer reported the next hop dead (modeling a missing
+        link-layer ack). Default: give up on this envelope. Routers with
+        route maintenance (DSR) override this to repair and retry."""
+        return ("drop", "broken-link")
+
+
+class RoutingAgent:
+    """The per-node forwarding engine."""
+
+    def __init__(
+        self,
+        fabric: SimFabric,
+        node_id: str,
+        router: Router,
+        codec: Optional[Codec] = None,
+        default_ttl: int = DEFAULT_TTL,
+    ):
+        if default_ttl < 1:
+            raise ConfigurationError(f"ttl must be >= 1, got {default_ttl!r}")
+        self.fabric = fabric
+        self.node_id = node_id
+        self.router = router
+        self.codec = codec if codec is not None else get_codec("binary")
+        self.default_ttl = default_ttl
+        self.endpoint: SimTransport = fabric.endpoint(node_id, ROUTE_PORT)
+        self._seq = SequenceGenerator(1)
+        self._seen: set[Tuple[str, int]] = set()
+        self._ports: Dict[str, "RoutedTransport"] = {}
+        self.originated = 0
+        self.forwarded = 0
+        self.delivered = 0
+        self.dropped: Dict[str, int] = {}
+        self.endpoint.set_receiver(self._on_frame)
+        router.attach(self)
+
+    # ------------------------------------------------------------- upper API
+
+    def open_port(self, port: str) -> "RoutedTransport":
+        """A multi-hop transport for ``port`` on this node.
+
+        The port is also bound on the fabric, so one-hop frames addressed
+        directly to it (broadcasts, neighbor unicasts) are delivered too —
+        multi-hop and single-hop traffic converge on the same receiver.
+        """
+        if port == ROUTE_PORT:
+            raise ConfigurationError(f"port {ROUTE_PORT!r} is reserved for routing")
+        if port in self._ports:
+            raise ConfigurationError(f"routed port {port!r} already open on {self.node_id}")
+        transport = RoutedTransport(Address(self.node_id, port), self)
+        self._ports[port] = transport
+        self.fabric.bind(self.node_id, port, transport)
+        return transport
+
+    def close_port(self, port: str) -> None:
+        if self._ports.pop(port, None) is not None:
+            self.fabric.remove(Address(self.node_id, port))
+
+    @property
+    def scheduler(self) -> Scheduler:
+        return self.endpoint.scheduler
+
+    # --------------------------------------------------------------- sending
+
+    def originate(self, source: Address, destination: Address, payload: bytes) -> None:
+        """Start an envelope from this node."""
+        if destination.node == BROADCAST_NODE:
+            # One-hop broadcast is a link-layer affair: no routing involved.
+            self.fabric._transmit(source, destination, payload)
+            return
+        envelope = Envelope(
+            source=source,
+            destination=destination,
+            ttl=self.default_ttl,
+            seq=self._seq.next(),
+            payload=payload,
+        )
+        self.originated += 1
+        self._seen.add((str(envelope.source), envelope.seq))
+        self._move(envelope)
+
+    def _move(self, envelope: Envelope) -> None:
+        """Deliver locally or ask the router where to send next."""
+        if envelope.destination.node == self.node_id:
+            self.delivered += 1
+            local = self._ports.get(envelope.destination.port)
+            if local is not None and not local.closed:
+                local._dispatch(envelope.source, envelope.payload)
+            else:
+                # Not a routed port here; maybe a raw fabric endpoint.
+                self.fabric.inject(envelope.destination, envelope.source, envelope.payload)
+            return
+        if envelope.ttl <= 0:
+            self._drop("ttl")
+            return
+        # Source-routed envelopes follow their route without consulting
+        # the router.
+        if envelope.route:
+            self._follow_source_route(envelope)
+            return
+        self._apply_disposition(envelope, self.router.route(envelope))
+
+    def _apply_disposition(self, envelope: Envelope, disposition: Disposition) -> None:
+        action, argument = disposition
+        if action == "forward":
+            assert argument is not None
+            self.forward_to(argument, envelope)
+        elif action == "flood":
+            self.flood(envelope)
+        elif action == "queued":
+            pass  # router owns it now (e.g. DSR awaiting route discovery)
+        else:
+            self._drop(argument or "router")
+
+    def _follow_source_route(self, envelope: Envelope) -> None:
+        route = envelope.route or []
+        try:
+            index = route.index(self.node_id)
+        except ValueError:
+            self._drop("not-on-route")
+            return
+        if index + 1 >= len(route):
+            self._drop("route-exhausted")
+            return
+        next_hop = route[index + 1]
+        if not self._hop_alive(next_hop):
+            # Link-layer ack failure: let the router repair (DSR route
+            # maintenance) instead of black-holing the envelope. The stale
+            # source route is stripped so a repaired path can be attached.
+            envelope.route = None
+            self._apply_disposition(
+                envelope, self.router.handle_broken_link(envelope, next_hop)
+            )
+            return
+        self.forward_to(next_hop, envelope)
+
+    def _hop_alive(self, node_id: str) -> bool:
+        """Models the link-layer ack a real radio gives per-hop senders."""
+        network = self.fabric.network
+        return node_id in network and network.node(node_id).alive
+
+    def forward_to(self, next_hop: str, envelope: Envelope) -> None:
+        """Send an envelope one hop (decrements TTL)."""
+        self.forwarded += 1
+        out = Envelope(
+            envelope.source, envelope.destination, envelope.ttl - 1,
+            envelope.seq, envelope.payload, envelope.route,
+        )
+        self.endpoint.send(
+            Address(next_hop, ROUTE_PORT), self.codec.encode(out.to_dict())
+        )
+
+    def flood(self, envelope: Envelope) -> None:
+        """Broadcast an envelope to all neighbors (decrements TTL)."""
+        self.forwarded += 1
+        out = Envelope(
+            envelope.source, envelope.destination, envelope.ttl - 1,
+            envelope.seq, envelope.payload, envelope.route,
+        )
+        self.endpoint.broadcast(self.codec.encode(out.to_dict()))
+
+    def send_control(self, destination: Optional[str], message: Dict[str, Any]) -> None:
+        """Router control traffic: unicast to a node, or broadcast if None."""
+        payload = self.codec.encode(message)
+        if destination is None:
+            self.endpoint.broadcast(payload)
+        else:
+            self.endpoint.send(Address(destination, ROUTE_PORT), payload)
+
+    # ------------------------------------------------------------- receiving
+
+    def _on_frame(self, source: Address, payload: bytes) -> None:
+        message = self.codec.decode(payload)
+        if "c" in message:
+            self.router.handle_control(source, message)
+            return
+        envelope = Envelope.from_dict(message)
+        key = (str(envelope.source), envelope.seq)
+        if key in self._seen:
+            self._drop("duplicate")
+            return
+        self._seen.add(key)
+        self._move(envelope)
+
+    def _drop(self, reason: str) -> None:
+        self.dropped[reason] = self.dropped.get(reason, 0) + 1
+
+
+class RoutedTransport(Transport):
+    """A Transport whose unicasts traverse multiple hops via the agent."""
+
+    def __init__(self, local: Address, agent: RoutingAgent):
+        super().__init__(local)
+        self._agent = agent
+
+    @property
+    def scheduler(self) -> Scheduler:
+        return self._agent.scheduler
+
+    def _send(self, destination: Address, payload: bytes) -> None:
+        self._agent.originate(self._local, destination, payload)
+
+    def broadcast(self, payload: bytes, port: Optional[str] = None) -> None:
+        """One-hop broadcast (symmetric with SimTransport.broadcast)."""
+        self.send(Address(BROADCAST_NODE, port or self._local.port), payload)
+
+    def close(self) -> None:
+        super().close()
+        self._agent.close_port(self._local.port)
+
+
+def build_routed_network(
+    fabric: SimFabric,
+    router_factory: Callable[[str], Router],
+    node_ids: Optional[List[str]] = None,
+    default_ttl: int = DEFAULT_TTL,
+) -> Dict[str, RoutingAgent]:
+    """Install a routing agent on every node; returns agents by node id."""
+    ids = node_ids if node_ids is not None else fabric.network.node_ids()
+    return {
+        node_id: RoutingAgent(
+            fabric, node_id, router_factory(node_id), default_ttl=default_ttl
+        )
+        for node_id in ids
+    }

@@ -1,0 +1,186 @@
+"""Data-centric (directed-diffusion-style) routing.
+
+The sensor-network routing mode the paper's literature review points to
+(data-centric routing, [81]): data is addressed by *name*, not by node. A
+sink floods an **interest** for a name; each node remembers the neighbor the
+interest arrived from with the fewest hops (its *gradient*); sources publish
+named data which flows hop-by-hop down the gradients to every interested
+sink. No node ever learns a topology — only "who asked me for this name".
+
+Messages (own port, codec dicts)::
+
+    interest: {"c": "interest", "n": name, "o": sink, "q": seq, "h": hops,
+               "t": ttl}
+    data:     {"c": "data", "n": name, "o": origin, "q": seq, "v": value}
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.interop.codec import Codec, get_codec
+from repro.transport.base import Address
+from repro.transport.simnet import SimFabric, SimTransport
+from repro.util.ids import SequenceGenerator
+
+DIFFUSION_PORT = "diffusion"
+DEFAULT_INTEREST_TTL = 16
+DEFAULT_GRADIENT_LIFETIME_S = 30.0
+
+DataCallback = Callable[[str, Any, str], None]  # (name, value, origin)
+
+
+@dataclass
+class Gradient:
+    """Where to send data for one (name, sink) pair."""
+
+    parent: str  # neighbor to forward toward the sink
+    sink: str
+    hops_to_sink: int
+    expires_at: float
+
+
+class DataCentricAgent:
+    """One node's diffusion engine: sink, source, and relay in one."""
+
+    def __init__(
+        self,
+        fabric: SimFabric,
+        node_id: str,
+        codec: Optional[Codec] = None,
+        gradient_lifetime_s: float = DEFAULT_GRADIENT_LIFETIME_S,
+    ):
+        self.fabric = fabric
+        self.node_id = node_id
+        self.codec = codec if codec is not None else get_codec("binary")
+        self.gradient_lifetime_s = gradient_lifetime_s
+        self.endpoint: SimTransport = fabric.endpoint(node_id, DIFFUSION_PORT)
+        # name -> sink -> gradient
+        self._gradients: Dict[str, Dict[str, Gradient]] = {}
+        self._subscriptions: Dict[str, DataCallback] = {}
+        self._seq = SequenceGenerator(1)
+        self._seen_interests: Set[Tuple[str, int]] = set()
+        self._seen_data: Set[Tuple[str, int]] = set()
+        self.interests_sent = 0
+        self.data_sent = 0
+        self.data_delivered = 0
+        self.endpoint.set_receiver(self._on_message)
+
+    def _now(self) -> float:
+        return self.endpoint.scheduler.now()
+
+    # ------------------------------------------------------------------ sink
+
+    def subscribe(
+        self,
+        name: str,
+        callback: DataCallback,
+        refresh_interval_s: Optional[float] = None,
+        ttl: int = DEFAULT_INTEREST_TTL,
+    ) -> None:
+        """Express interest in named data; re-floods periodically if asked
+        (gradients expire, so long-lived sinks should refresh)."""
+        self._subscriptions[name] = callback
+        self._flood_interest(name, ttl)
+        if refresh_interval_s is not None:
+            self.endpoint.scheduler.schedule(
+                refresh_interval_s, self._refresh, name, refresh_interval_s, ttl
+            )
+
+    def _refresh(self, name: str, interval: float, ttl: int) -> None:
+        if name not in self._subscriptions or self.endpoint.closed:
+            return
+        self._flood_interest(name, ttl)
+        self.endpoint.scheduler.schedule(interval, self._refresh, name, interval, ttl)
+
+    def unsubscribe(self, name: str) -> None:
+        self._subscriptions.pop(name, None)
+
+    def _flood_interest(self, name: str, ttl: int) -> None:
+        seq = self._seq.next()
+        self._seen_interests.add((self.node_id, seq))
+        self.interests_sent += 1
+        self.endpoint.broadcast(
+            self.codec.encode(
+                {"c": "interest", "n": name, "o": self.node_id, "q": seq,
+                 "h": 0, "t": ttl}
+            )
+        )
+
+    # ---------------------------------------------------------------- source
+
+    def publish(self, name: str, value: Any) -> int:
+        """Send named data toward every interested sink.
+
+        Returns the number of sinks it was forwarded toward (0 when no
+        gradient exists — nobody asked, so nothing is transmitted; this
+        silence is data-centric routing's energy win).
+        """
+        if name in self._subscriptions:
+            self.data_delivered += 1
+            self._subscriptions[name](name, value, self.node_id)
+        seq = self._seq.next()
+        self._seen_data.add((self.node_id, seq))
+        return self._forward_data(
+            {"c": "data", "n": name, "o": self.node_id, "q": seq, "v": value}
+        )
+
+    def _forward_data(self, message: Dict[str, Any]) -> int:
+        gradients = self._live_gradients(message["n"])
+        parents = {g.parent for g in gradients.values() if g.parent != self.node_id}
+        for parent in sorted(parents):
+            self.data_sent += 1
+            self.endpoint.send(
+                Address(parent, DIFFUSION_PORT), self.codec.encode(message)
+            )
+        return len(parents)
+
+    def _live_gradients(self, name: str) -> Dict[str, Gradient]:
+        by_sink = self._gradients.get(name, {})
+        now = self._now()
+        live = {sink: g for sink, g in by_sink.items() if g.expires_at > now}
+        self._gradients[name] = live
+        return live
+
+    # -------------------------------------------------------------- receiving
+
+    def _on_message(self, source: Address, payload: bytes) -> None:
+        message = self.codec.decode(payload)
+        kind = message.get("c")
+        if kind == "interest":
+            self._on_interest(source, message)
+        elif kind == "data":
+            self._on_data(message)
+
+    def _on_interest(self, source: Address, message: Dict[str, Any]) -> None:
+        key = (message["o"], message["q"])
+        hops = message["h"] + 1
+        name, sink = message["n"], message["o"]
+        by_sink = self._gradients.setdefault(name, {})
+        existing = by_sink.get(sink)
+        expires = self._now() + self.gradient_lifetime_s
+        if existing is None or hops < existing.hops_to_sink:
+            by_sink[sink] = Gradient(source.node, sink, hops, expires)
+        elif hops == existing.hops_to_sink and source.node == existing.parent:
+            existing.expires_at = expires
+        if key in self._seen_interests:
+            return
+        self._seen_interests.add(key)
+        ttl = message["t"] - 1
+        if ttl >= 1:
+            self.interests_sent += 1
+            self.endpoint.broadcast(
+                self.codec.encode({**message, "h": hops, "t": ttl})
+            )
+
+    def _on_data(self, message: Dict[str, Any]) -> None:
+        key = (message["o"], message["q"])
+        if key in self._seen_data:
+            return
+        self._seen_data.add(key)
+        name = message["n"]
+        if name in self._subscriptions:
+            self.data_delivered += 1
+            self._subscriptions[name](name, message["v"], message["o"])
+        self._forward_data(message)

@@ -1,0 +1,17 @@
+"""Flooding: the baseline that always works and always costs the most.
+
+Every envelope is rebroadcast by every node (duplicate-suppressed at the
+agent, TTL-bounded). Reaches any connected destination with zero routing
+state — the overhead baseline for experiment E5.
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import Disposition, Envelope, Router
+
+
+class FloodingRouter(Router):
+    """Rebroadcast everything not addressed to us."""
+
+    def route(self, envelope: Envelope) -> Disposition:
+        return ("flood", None)

@@ -1,0 +1,45 @@
+"""Greedy geographic forwarding.
+
+Forwards to the neighbor geographically closest to the destination, using
+only local information plus the destination's position — no routing tables
+at all. Fails at local minima (voids), which the experiments report as
+``drop("local-minimum")``; recovery schemes (face routing) are out of scope
+and noted as such.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.netsim.network import Network
+from repro.routing.base import Disposition, Envelope, Router
+
+
+class GeographicRouter(Router):
+    """Greedy position-based next hop."""
+
+    def __init__(self, network: Network, node_id: str):
+        self.network = network
+        self.node_id = node_id
+        self.local_minima = 0
+
+    def next_hop(self, destination: str) -> Optional[str]:
+        target = self.network.node(destination)
+        me = self.network.node(self.node_id)
+        my_distance = me.distance_to(target)
+        best: Optional[str] = None
+        best_distance = my_distance
+        for neighbor in sorted(self.network.neighbors(self.node_id), key=lambda n: n.node_id):
+            d = neighbor.distance_to(target)
+            if d < best_distance:
+                best, best_distance = neighbor.node_id, d
+        return best
+
+    def route(self, envelope: Envelope) -> Disposition:
+        if envelope.destination.node not in self.network:
+            return ("drop", "unknown-destination")
+        hop = self.next_hop(envelope.destination.node)
+        if hop is None:
+            self.local_minima += 1
+            return ("drop", "local-minimum")
+        return ("forward", hop)

@@ -1,0 +1,58 @@
+"""Scheduling (Section 3.7).
+
+The paper asks the middleware to "decide on interaction order based on
+priority or bandwidth constraints", to finish or hand off transactions whose
+suppliers are about to leave, and notes the same concerns in grid computing.
+Correspondingly:
+
+* :mod:`repro.scheduling.task` / :mod:`repro.scheduling.policies` /
+  :mod:`repro.scheduling.scheduler` — a preemptive virtual-processor
+  scheduler with FIFO, static-priority, EDF, and rate-monotonic policies
+  (the paper's first middleware citation, Mizunuma et al. [6], is
+  rate-monotonic middleware),
+* :mod:`repro.scheduling.bandwidth` — token-bucket bandwidth allocation and
+  reservation-based admission,
+* :mod:`repro.scheduling.handoff` — proactive transaction handoff for
+  suppliers moving out of range,
+* :mod:`repro.scheduling.gridsched` — task-to-processor scheduling
+  (list scheduling, min-min, max-min).
+"""
+
+from repro.scheduling.bandwidth import BandwidthAllocator, TokenBucket
+from repro.scheduling.gridsched import (
+    GridTask,
+    Processor,
+    schedule_list,
+    schedule_max_min,
+    schedule_min_min,
+    schedule_round_robin,
+)
+from repro.scheduling.handoff import HandoffManager
+from repro.scheduling.policies import (
+    EdfPolicy,
+    FifoPolicy,
+    PriorityPolicy,
+    RateMonotonicPolicy,
+    rm_utilization_bound,
+)
+from repro.scheduling.scheduler import TaskScheduler
+from repro.scheduling.task import ScheduledTask
+
+__all__ = [
+    "BandwidthAllocator",
+    "TokenBucket",
+    "GridTask",
+    "Processor",
+    "schedule_list",
+    "schedule_max_min",
+    "schedule_min_min",
+    "schedule_round_robin",
+    "HandoffManager",
+    "EdfPolicy",
+    "FifoPolicy",
+    "PriorityPolicy",
+    "RateMonotonicPolicy",
+    "rm_utilization_bound",
+    "TaskScheduler",
+    "ScheduledTask",
+]

@@ -1,0 +1,137 @@
+"""Bandwidth allocation.
+
+Section 3.7: transactions of departing services "can be scheduled with high
+priority, and possibly allocated more bandwidth"; the literature review also
+cites bandwidth-reservation middleware [60]. A :class:`TokenBucket` paces
+one flow; a :class:`BandwidthAllocator` manages reservations over a shared
+link with admission control and lets privileged flows borrow headroom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import AdmissionRefused, ConfigurationError
+
+
+@dataclass
+class TokenBucket:
+    """Classic token bucket: ``rate_bps`` sustained, ``burst_bits`` burst."""
+
+    rate_bps: float
+    burst_bits: float
+    tokens: float = -1.0
+    last_update: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise ConfigurationError(f"rate must be positive, got {self.rate_bps!r}")
+        if self.burst_bits <= 0:
+            raise ConfigurationError(f"burst must be positive, got {self.burst_bits!r}")
+        if self.tokens < 0:
+            self.tokens = self.burst_bits
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self.last_update)
+        self.tokens = min(self.burst_bits, self.tokens + elapsed * self.rate_bps)
+        self.last_update = now
+
+    def try_consume(self, bits: float, now: float) -> bool:
+        """Take ``bits`` if available; returns False (taking nothing) if not."""
+        self._refill(now)
+        if bits <= self.tokens:
+            self.tokens -= bits
+            return True
+        return False
+
+    def time_until_available(self, bits: float, now: float) -> float:
+        """Seconds until ``bits`` tokens will exist (0 if available now)."""
+        self._refill(now)
+        if bits <= self.tokens:
+            return 0.0
+        if bits > self.burst_bits:
+            return float("inf")  # can never burst that much at once
+        return (bits - self.tokens) / self.rate_bps
+
+
+class BandwidthAllocator:
+    """Reservation-based sharing of one link's capacity.
+
+    Flows reserve a sustained rate; admission fails when the sum of
+    reservations would exceed capacity. A flow marked privileged (the
+    "about to hand off" case) may additionally draw from the unreserved
+    headroom bucket.
+    """
+
+    def __init__(self, capacity_bps: float, burst_s: float = 0.25):
+        if capacity_bps <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity_bps!r}")
+        self.capacity_bps = capacity_bps
+        self.burst_s = burst_s
+        self._flows: Dict[str, TokenBucket] = {}
+        self._privileged: Dict[str, bool] = {}
+        self._reserved_bps = 0.0
+        self._headroom: Optional[TokenBucket] = None
+        self._rebuild_headroom()
+
+    def _rebuild_headroom(self) -> None:
+        free = max(0.0, self.capacity_bps - self._reserved_bps)
+        if free > 0:
+            tokens = self._headroom.tokens if self._headroom else -1.0
+            self._headroom = TokenBucket(free, free * self.burst_s, tokens=min(
+                tokens, free * self.burst_s) if tokens >= 0 else -1.0)
+        else:
+            self._headroom = None
+
+    # ------------------------------------------------------------ reservation
+
+    def reserve(self, flow_id: str, rate_bps: float, privileged: bool = False) -> None:
+        """Admit a flow at ``rate_bps``; raises :class:`AdmissionRefused`
+        when the link cannot carry it alongside existing reservations."""
+        if flow_id in self._flows:
+            raise ConfigurationError(f"flow {flow_id!r} already reserved")
+        if self._reserved_bps + rate_bps > self.capacity_bps:
+            raise AdmissionRefused(
+                f"cannot reserve {rate_bps:g} bps for {flow_id!r}: "
+                f"{self.capacity_bps - self._reserved_bps:g} bps free"
+            )
+        self._flows[flow_id] = TokenBucket(rate_bps, rate_bps * self.burst_s)
+        self._privileged[flow_id] = privileged
+        self._reserved_bps += rate_bps
+        self._rebuild_headroom()
+
+    def release(self, flow_id: str) -> None:
+        bucket = self._flows.pop(flow_id, None)
+        self._privileged.pop(flow_id, None)
+        if bucket is not None:
+            self._reserved_bps -= bucket.rate_bps
+            self._rebuild_headroom()
+
+    def set_privileged(self, flow_id: str, privileged: bool) -> None:
+        """Boost (or unboost) a flow — the handoff manager calls this."""
+        if flow_id not in self._flows:
+            raise ConfigurationError(f"unknown flow {flow_id!r}")
+        self._privileged[flow_id] = privileged
+
+    @property
+    def reserved_bps(self) -> float:
+        return self._reserved_bps
+
+    @property
+    def free_bps(self) -> float:
+        return max(0.0, self.capacity_bps - self._reserved_bps)
+
+    # ------------------------------------------------------------------ usage
+
+    def try_send(self, flow_id: str, bits: float, now: float) -> bool:
+        """Charge ``bits`` against the flow's reservation (and headroom for
+        privileged flows). Returns False if the flow must wait."""
+        bucket = self._flows.get(flow_id)
+        if bucket is None:
+            raise ConfigurationError(f"unknown flow {flow_id!r}")
+        if bucket.try_consume(bits, now):
+            return True
+        if self._privileged.get(flow_id) and self._headroom is not None:
+            return self._headroom.try_consume(bits, now)
+        return False

@@ -1,0 +1,51 @@
+"""Transactions (Section 3.6): how suppliers and consumers interact.
+
+The paper uses "transaction" for the middleware-established interaction
+between a service supplier and a service consumer, classified as
+**continuous**, **intermittent with some prediction**, or **on demand**
+(:mod:`repro.transactions.transaction`), established by matching
+specifications including QoS constraints
+(:mod:`repro.transactions.manager`).
+
+The interaction technologies the literature review enumerates are each
+implemented over the common transport abstraction:
+
+* RPC with synchronous futures and asynchronous one-ways
+  (:mod:`repro.transactions.rpc`),
+* message-oriented middleware with queues and redelivery
+  (:mod:`repro.transactions.messaging`),
+* event-based publish/subscribe with topic wildcards
+  (:mod:`repro.transactions.pubsub`),
+* Linda-style tuple spaces (:mod:`repro.transactions.tuplespace`),
+* distributed shared objects with invalidation-based caching
+  (:mod:`repro.transactions.sharedobjects`),
+* mobile software agents that travel to the data
+  (:mod:`repro.transactions.agents`).
+"""
+
+from repro.transactions.agents import AgentHost, MobileAgent
+from repro.transactions.manager import TransactionManager
+from repro.transactions.messaging import MessageBroker, MessagingClient
+from repro.transactions.pubsub import PubSubBroker, PubSubClient
+from repro.transactions.rpc import RpcEndpoint
+from repro.transactions.sharedobjects import SharedObjectCache, SharedObjectHost
+from repro.transactions.transaction import Transaction, TransactionKind, TransactionState
+from repro.transactions.tuplespace import TupleSpaceClient, TupleSpaceServer
+
+__all__ = [
+    "AgentHost",
+    "MobileAgent",
+    "TransactionManager",
+    "MessageBroker",
+    "MessagingClient",
+    "PubSubBroker",
+    "PubSubClient",
+    "RpcEndpoint",
+    "SharedObjectCache",
+    "SharedObjectHost",
+    "Transaction",
+    "TransactionKind",
+    "TransactionState",
+    "TupleSpaceClient",
+    "TupleSpaceServer",
+]

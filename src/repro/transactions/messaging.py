@@ -1,0 +1,226 @@
+"""Message-oriented middleware: named queues with store-and-forward.
+
+The "message-based techniques" of the literature review ([64, 65]): a
+:class:`MessageBroker` holds named queues; producers ``put`` without knowing
+who (or whether anyone) consumes; consumers ``subscribe`` and acknowledge.
+Unacknowledged deliveries are redelivered after a timeout, giving
+at-least-once semantics; consumers on one queue share work round-robin.
+
+Protocol (codec dicts)::
+
+    put:       {"op": "put", "queue": q, "body": v [, "rid": id]}
+    subscribe: {"op": "subscribe", "queue": q, "rid": id}
+    deliver:   {"op": "deliver", "queue": q, "mid": id, "body": v}
+    ack:       {"op": "ack", "mid": id}
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.interop.codec import Codec, get_codec
+from repro.transport.base import Address, Transport
+from repro.util.ids import IdGenerator
+from repro.util.promise import Promise
+
+DEFAULT_REDELIVERY_TIMEOUT_S = 5.0
+
+
+@dataclass
+class _QueueState:
+    messages: Deque[Tuple[str, Any]] = field(default_factory=deque)  # (mid, body)
+    subscribers: List[Address] = field(default_factory=list)
+    next_subscriber: int = 0
+
+
+class MessageBroker:
+    """The queue manager process."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        codec: Optional[Codec] = None,
+        redelivery_timeout_s: float = DEFAULT_REDELIVERY_TIMEOUT_S,
+        max_redeliveries: int = 20,
+    ):
+        self.transport = transport
+        self.codec = codec if codec is not None else get_codec("binary")
+        self.redelivery_timeout_s = redelivery_timeout_s
+        self.max_redeliveries = max_redeliveries
+        self._queues: Dict[str, _QueueState] = {}
+        self._mids = IdGenerator("m")
+        # mid -> (queue, body, subscriber) awaiting ack
+        self._inflight: Dict[str, Tuple[str, Any, Address]] = {}
+        self._attempts: Dict[str, int] = {}
+        #: Messages abandoned after max_redeliveries (queue, body) pairs.
+        self.dead_letters: List[Tuple[str, Any]] = []
+        self.messages_accepted = 0
+        self.deliveries = 0
+        self.redeliveries = 0
+        transport.set_receiver(self._on_message)
+
+    def depth(self, queue: str) -> int:
+        state = self._queues.get(queue)
+        return len(state.messages) if state else 0
+
+    def _queue(self, name: str) -> _QueueState:
+        return self._queues.setdefault(name, _QueueState())
+
+    # -------------------------------------------------------------- protocol
+
+    def _on_message(self, source: Address, payload: bytes) -> None:
+        message = self.codec.decode(payload)
+        op = message.get("op")
+        if op == "put":
+            self._handle_put(source, message)
+        elif op == "subscribe":
+            self._handle_subscribe(source, message)
+        elif op == "ack":
+            mid = message.get("mid")
+            self._inflight.pop(mid, None)
+            self._attempts.pop(mid, None)
+
+    def _handle_put(self, source: Address, message: Dict[str, Any]) -> None:
+        queue = self._queue(message["queue"])
+        mid = self._mids.next()
+        queue.messages.append((mid, message["body"]))
+        self.messages_accepted += 1
+        if message.get("rid") is not None:
+            self.transport.send(
+                source,
+                self.codec.encode({"op": "put_ack", "rid": message["rid"], "mid": mid}),
+            )
+        self._drain(message["queue"])
+
+    def _handle_subscribe(self, source: Address, message: Dict[str, Any]) -> None:
+        queue = self._queue(message["queue"])
+        if source not in queue.subscribers:
+            queue.subscribers.append(source)
+        self.transport.send(
+            source,
+            self.codec.encode({"op": "subscribe_ack", "rid": message.get("rid")}),
+        )
+        self._drain(message["queue"])
+
+    # -------------------------------------------------------------- delivery
+
+    def _drain(self, queue_name: str) -> None:
+        queue = self._queue(queue_name)
+        while queue.messages and queue.subscribers:
+            mid, body = queue.messages.popleft()
+            subscriber = queue.subscribers[queue.next_subscriber % len(queue.subscribers)]
+            queue.next_subscriber += 1
+            self._deliver(queue_name, mid, body, subscriber)
+
+    def _deliver(self, queue_name: str, mid: str, body: Any, subscriber: Address) -> None:
+        self.deliveries += 1
+        self._inflight[mid] = (queue_name, body, subscriber)
+        self.transport.send(
+            subscriber,
+            self.codec.encode(
+                {"op": "deliver", "queue": queue_name, "mid": mid, "body": body}
+            ),
+        )
+        self.transport.scheduler.schedule(
+            self.redelivery_timeout_s, self._check_ack, mid
+        )
+
+    def _check_ack(self, mid: str) -> None:
+        entry = self._inflight.pop(mid, None)
+        if entry is None:
+            return  # acked
+        queue_name, body, failed_subscriber = entry
+        attempts = self._attempts.get(mid, 0) + 1
+        self._attempts[mid] = attempts
+        if attempts > self.max_redeliveries:
+            # Dead-letter: an unackable message must not spin forever.
+            self._attempts.pop(mid, None)
+            self.dead_letters.append((queue_name, body))
+            return
+        queue = self._queue(queue_name)
+        # Requeue at the front and try the next subscriber (the failed one
+        # may be gone; round-robin will rotate past it).
+        self.redeliveries += 1
+        queue.messages.appendleft((mid, body))
+        self._drain(queue_name)
+
+
+class MessagingClient:
+    """A producer/consumer handle onto the broker."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        broker_address: Address,
+        codec: Optional[Codec] = None,
+        request_timeout_s: float = 2.0,
+    ):
+        self.transport = transport
+        self.broker_address = broker_address
+        self.codec = codec if codec is not None else get_codec("binary")
+        self.request_timeout_s = request_timeout_s
+        self._rids = IdGenerator(f"msg:{transport.local_address}")
+        self._pending: Dict[str, Promise] = {}
+        self._handlers: Dict[str, Callable[[Any], None]] = {}
+        self.received = 0
+        transport.set_receiver(self._on_message)
+
+    # --------------------------------------------------------------- producer
+
+    def put(self, queue: str, body: Any, confirm: bool = False) -> Optional[Promise]:
+        """Enqueue a message. With ``confirm`` returns a Promise of the
+        broker's ack (message id); without, it is fire-and-forget."""
+        message: Dict[str, Any] = {"op": "put", "queue": queue, "body": body}
+        if not confirm:
+            self.transport.send(self.broker_address, self.codec.encode(message))
+            return None
+        rid = self._rids.next()
+        message["rid"] = rid
+        promise: Promise = Promise()
+        self._pending[rid] = promise
+        self.transport.send(self.broker_address, self.codec.encode(message))
+        self.transport.scheduler.schedule(self.request_timeout_s, self._timeout, rid)
+        return promise
+
+    # --------------------------------------------------------------- consumer
+
+    def subscribe(self, queue: str, handler: Callable[[Any], None]) -> Promise:
+        """Consume from a queue; the handler receives message bodies and
+        deliveries are auto-acknowledged after it returns."""
+        self._handlers[queue] = handler
+        rid = self._rids.next()
+        promise: Promise = Promise()
+        self._pending[rid] = promise
+        self.transport.send(
+            self.broker_address,
+            self.codec.encode({"op": "subscribe", "queue": queue, "rid": rid}),
+        )
+        self.transport.scheduler.schedule(self.request_timeout_s, self._timeout, rid)
+        return promise
+
+    # -------------------------------------------------------------- plumbing
+
+    def _timeout(self, rid: str) -> None:
+        promise = self._pending.pop(rid, None)
+        if promise is not None:
+            from repro.errors import DeliveryError
+
+            promise.reject(DeliveryError(f"broker request {rid} timed out"))
+
+    def _on_message(self, source: Address, payload: bytes) -> None:
+        message = self.codec.decode(payload)
+        op = message.get("op")
+        if op == "deliver":
+            handler = self._handlers.get(message["queue"])
+            if handler is not None:
+                self.received += 1
+                handler(message["body"])
+                self.transport.send(
+                    source, self.codec.encode({"op": "ack", "mid": message["mid"]})
+                )
+            return
+        promise = self._pending.pop(message.get("rid"), None)
+        if promise is not None:
+            promise.fulfill(message)

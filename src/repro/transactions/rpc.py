@@ -1,0 +1,197 @@
+"""Remote procedure calls.
+
+An :class:`RpcEndpoint` both serves and calls: expose handlers with
+:meth:`RpcEndpoint.expose`, invoke remote ones with :meth:`RpcEndpoint.call`
+(promise-based, with timeout and optional retries) or
+:meth:`RpcEndpoint.notify` (asynchronous one-way — Section 3.6 asks that
+the interaction technology "provide asynchronous connections").
+
+Optional :class:`~repro.interop.schema.InterfaceSchema` validation enforces
+the markup-described contract on both parameters and results.
+
+Protocol (codec dicts)::
+
+    {"op": "call",   "rid": id, "method": name, "params": {...}}
+    {"op": "notify",            "method": name, "params": {...}}
+    {"op": "result", "rid": id, "value": ...}
+    {"op": "error",  "rid": id, "type": exc type name, "msg": text}
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.errors import RemoteError, RpcError, RpcTimeoutError, SchemaError
+from repro.interop.codec import Codec, get_codec
+from repro.interop.schema import InterfaceSchema
+from repro.transport.base import Address, Transport
+from repro.util.ids import IdGenerator
+from repro.util.promise import Promise
+
+Handler = Callable[..., Any]
+
+
+@dataclass
+class _PendingCall:
+    promise: Promise
+    destination: Address
+    method: str
+    params: Dict[str, Any]
+    retries_left: int
+    timeout_s: float
+    timer: Any
+
+
+class RpcEndpoint:
+    """A bidirectional RPC endpoint over one transport."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        codec: Optional[Codec] = None,
+        interface: Optional[InterfaceSchema] = None,
+        default_timeout_s: float = 2.0,
+    ):
+        self.transport = transport
+        self.codec = codec if codec is not None else get_codec("binary")
+        self.interface = interface
+        self.default_timeout_s = default_timeout_s
+        self._handlers: Dict[str, Handler] = {}
+        self._rids = IdGenerator(f"rpc:{transport.local_address}")
+        self._pending: Dict[str, _PendingCall] = {}
+        self.calls_made = 0
+        self.calls_served = 0
+        self.timeouts = 0
+        transport.set_receiver(self._on_message)
+
+    # ---------------------------------------------------------------- serving
+
+    def expose(self, method: str, handler: Handler) -> None:
+        """Register a handler; it receives params as keyword arguments.
+
+        With an interface schema attached, the method must exist in the
+        schema and params/results are validated.
+        """
+        if self.interface is not None:
+            self.interface.operation(method)  # raises if undeclared
+        if method in self._handlers:
+            raise RpcError(f"method {method!r} already exposed")
+        self._handlers[method] = handler
+
+    def _serve(self, source: Address, rid: Optional[str], method: str,
+               params: Mapping[str, Any]) -> None:
+        handler = self._handlers.get(method)
+        try:
+            if handler is None:
+                raise RpcError(f"no such method {method!r}")
+            if self.interface is not None:
+                self.interface.operation(method).validate_params(params)
+            value = handler(**params)
+            if self.interface is not None:
+                self.interface.operation(method).validate_result(value)
+        except Exception as exc:  # noqa: BLE001 - marshalled to the caller
+            if rid is not None:
+                self._send(source, {"op": "error", "rid": rid,
+                                    "type": type(exc).__name__, "msg": str(exc)})
+            return
+        self.calls_served += 1
+        if rid is not None:
+            self._send(source, {"op": "result", "rid": rid, "value": value})
+
+    # ---------------------------------------------------------------- calling
+
+    def call(
+        self,
+        destination: Address,
+        method: str,
+        params: Optional[Mapping[str, Any]] = None,
+        timeout_s: Optional[float] = None,
+        retries: int = 0,
+    ) -> Promise:
+        """Invoke a remote method; fulfills with the result value.
+
+        Rejects with :class:`RpcTimeoutError` after ``retries`` re-sends all
+        time out, or :class:`RemoteError` if the handler raised.
+        """
+        params = dict(params or {})
+        if self.interface is not None:
+            try:
+                self.interface.operation(method).validate_params(params)
+            except SchemaError as exc:
+                failed: Promise = Promise()
+                failed.reject(exc)
+                return failed
+        rid = self._rids.next()
+        promise: Promise = Promise()
+        timeout = timeout_s if timeout_s is not None else self.default_timeout_s
+        pending = _PendingCall(promise, destination, method, params, retries, timeout, None)
+        self._pending[rid] = pending
+        self._transmit_call(rid, pending)
+        return promise
+
+    def notify(
+        self,
+        destination: Address,
+        method: str,
+        params: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Asynchronous one-way invocation: no reply, no completion signal."""
+        self.calls_made += 1
+        self._send(destination, {"op": "notify", "method": method,
+                                 "params": dict(params or {})})
+
+    def _transmit_call(self, rid: str, pending: _PendingCall) -> None:
+        self.calls_made += 1
+        self._send(
+            pending.destination,
+            {"op": "call", "rid": rid, "method": pending.method,
+             "params": pending.params},
+        )
+        pending.timer = self.transport.scheduler.schedule(
+            pending.timeout_s, self._on_call_timeout, rid
+        )
+
+    def _on_call_timeout(self, rid: str) -> None:
+        pending = self._pending.get(rid)
+        if pending is None:
+            return
+        if pending.retries_left > 0:
+            pending.retries_left -= 1
+            self._transmit_call(rid, pending)
+            return
+        del self._pending[rid]
+        self.timeouts += 1
+        pending.promise.reject(
+            RpcTimeoutError(
+                f"call {pending.method!r} to {pending.destination} timed out"
+            )
+        )
+
+    # -------------------------------------------------------------- receiving
+
+    def _on_message(self, source: Address, payload: bytes) -> None:
+        message = self.codec.decode(payload)
+        op = message.get("op")
+        if op == "call":
+            self._serve(source, message.get("rid"), message["method"],
+                        message.get("params", {}))
+        elif op == "notify":
+            self._serve(source, None, message["method"], message.get("params", {}))
+        elif op in ("result", "error"):
+            pending = self._pending.pop(message.get("rid"), None)
+            if pending is None:
+                return  # late reply after timeout: drop
+            if pending.timer is not None:
+                cancel = getattr(pending.timer, "cancel", None)
+                if cancel is not None:
+                    cancel()
+            if op == "result":
+                pending.promise.fulfill(message.get("value"))
+            else:
+                pending.promise.reject(
+                    RemoteError(message.get("type", "Exception"), message.get("msg", ""))
+                )
+
+    def _send(self, destination: Address, message: Dict[str, Any]) -> None:
+        self.transport.send(destination, self.codec.encode(message))

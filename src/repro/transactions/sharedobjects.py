@@ -1,0 +1,185 @@
+"""Distributed shared objects with invalidation-based caching.
+
+The "shared memory" and "remote objects to physically distributed objects"
+strand of the literature review ([61, 69]): a :class:`SharedObjectHost`
+holds the authoritative copies; :class:`SharedObjectCache` clients read
+through a local cache that the host invalidates on writes. Reads of a
+cached object cost nothing on the wire; writes cost one update plus one
+invalidation per caching node — the classic trade the E6 workload measures.
+
+Protocol (codec dicts)::
+
+    get:        {"op": "get", "rid", "key"}           -> value + version
+    put:        {"op": "put", "rid", "key", "value"}  -> new version
+    watch:      {"op": "watch", "key"}   (register for invalidations)
+    invalidate: {"op": "invalidate", "key", "version"}
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.interop.codec import Codec, get_codec
+from repro.transport.base import Address, Transport
+from repro.util.ids import IdGenerator
+from repro.util.promise import Promise
+
+
+@dataclass
+class _Stored:
+    value: Any
+    version: int
+
+
+class SharedObjectHost:
+    """Authoritative object store with watcher invalidation."""
+
+    def __init__(self, transport: Transport, codec: Optional[Codec] = None):
+        self.transport = transport
+        self.codec = codec if codec is not None else get_codec("binary")
+        self._objects: Dict[str, _Stored] = {}
+        self._watchers: Dict[str, Set[Address]] = {}
+        self.reads_served = 0
+        self.writes_served = 0
+        self.invalidations_sent = 0
+        transport.set_receiver(self._on_message)
+
+    def value(self, key: str) -> Any:
+        stored = self._objects.get(key)
+        return stored.value if stored else None
+
+    def _on_message(self, source: Address, payload: bytes) -> None:
+        message = self.codec.decode(payload)
+        op = message.get("op")
+        if op == "get":
+            self.reads_served += 1
+            stored = self._objects.get(message["key"])
+            self.transport.send(
+                source,
+                self.codec.encode(
+                    {
+                        "op": "got",
+                        "rid": message["rid"],
+                        "value": stored.value if stored else None,
+                        "version": stored.version if stored else 0,
+                    }
+                ),
+            )
+        elif op == "put":
+            self.writes_served += 1
+            key = message["key"]
+            stored = self._objects.get(key)
+            version = (stored.version if stored else 0) + 1
+            self._objects[key] = _Stored(message["value"], version)
+            self._invalidate(key, version, exclude=source)
+            self.transport.send(
+                source,
+                self.codec.encode(
+                    {"op": "put_ack", "rid": message["rid"], "version": version}
+                ),
+            )
+        elif op == "watch":
+            self._watchers.setdefault(message["key"], set()).add(source)
+
+    def _invalidate(self, key: str, version: int, exclude: Address) -> None:
+        for watcher in sorted(self._watchers.get(key, ()), key=str):
+            if watcher == exclude:
+                continue
+            self.invalidations_sent += 1
+            self.transport.send(
+                watcher,
+                self.codec.encode({"op": "invalidate", "key": key, "version": version}),
+            )
+
+
+class SharedObjectCache:
+    """A caching client: reads hit the cache until invalidated."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        host_address: Address,
+        codec: Optional[Codec] = None,
+    ):
+        self.transport = transport
+        self.host_address = host_address
+        self.codec = codec if codec is not None else get_codec("binary")
+        self._rids = IdGenerator(f"so:{transport.local_address}")
+        # rid -> (promise, key for cache fill or None)
+        self._pending: Dict[str, Tuple[Promise, Optional[str]]] = {}
+        self._cache: Dict[str, Tuple[Any, int]] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.invalidations_received = 0
+        transport.set_receiver(self._on_message)
+
+    # ------------------------------------------------------------------- API
+
+    def read(self, key: str) -> Promise:
+        """Fulfills with the value; served locally when the cache is warm."""
+        cached = self._cache.get(key)
+        promise: Promise = Promise()
+        if cached is not None:
+            self.cache_hits += 1
+            promise.fulfill(cached[0])
+            return promise
+        self.cache_misses += 1
+        rid = self._rids.next()
+        self._pending[rid] = (promise, key)
+        self.transport.send(
+            self.host_address,
+            self.codec.encode({"op": "watch", "key": key}),
+        )
+        self.transport.send(
+            self.host_address,
+            self.codec.encode({"op": "get", "rid": rid, "key": key}),
+        )
+        return promise
+
+    def write(self, key: str, value: Any) -> Promise:
+        """Fulfills with the new version; updates the local cache eagerly."""
+        rid = self._rids.next()
+        promise: Promise = Promise()
+        self._pending[rid] = (promise, None)
+
+        def update_cache(settled: Promise) -> None:
+            if settled.fulfilled:
+                self._cache[key] = (value, settled.result())
+
+        promise.on_settle(update_cache)
+        self.transport.send(
+            self.host_address,
+            self.codec.encode({"op": "watch", "key": key}),
+        )
+        self.transport.send(
+            self.host_address,
+            self.codec.encode({"op": "put", "rid": rid, "key": key, "value": value}),
+        )
+        return promise
+
+    def cached_version(self, key: str) -> int:
+        entry = self._cache.get(key)
+        return entry[1] if entry else 0
+
+    # -------------------------------------------------------------- plumbing
+
+    def _on_message(self, source: Address, payload: bytes) -> None:
+        message = self.codec.decode(payload)
+        op = message.get("op")
+        if op == "invalidate":
+            self.invalidations_received += 1
+            cached = self._cache.get(message["key"])
+            if cached is not None and cached[1] < message["version"]:
+                del self._cache[message["key"]]
+            return
+        entry = self._pending.pop(message.get("rid"), None)
+        if entry is None:
+            return
+        promise, cache_key = entry
+        if op == "got":
+            if cache_key is not None and message.get("version", 0) > 0:
+                self._cache[cache_key] = (message.get("value"), message["version"])
+            promise.fulfill(message.get("value"))
+        elif op == "put_ack":
+            promise.fulfill(message.get("version"))

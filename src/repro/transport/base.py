@@ -1,0 +1,155 @@
+"""Transport abstraction.
+
+A :class:`Transport` is one node's endpoint onto some network technology:
+it can send bytes to an :class:`Address` and delivers received bytes to a
+single receiver callback. Delivery is best-effort and unordered — exactly
+the guarantee a datagram network gives. Reliability, ordering, multiplexing
+and structure are layered on top (see :mod:`repro.transport.reliable`,
+:mod:`repro.transport.multiplex`, :mod:`repro.interop.codec`).
+
+Transports also expose a :class:`Scheduler` (virtual or real time) so the
+layers above can set timers without knowing which world they run in.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Protocol
+
+from repro.errors import AddressError, TransportClosedError
+
+
+@dataclass(frozen=True, order=True)
+class Address:
+    """A (node, port) pair. Rendered as ``"node:port"``.
+
+    ``node`` identifies the endpoint's host on its fabric; ``port`` selects a
+    service within the host (discovery, rpc, pubsub, ... each bind one).
+    """
+
+    node: str
+    port: str = "default"
+
+    def __str__(self) -> str:
+        return f"{self.node}:{self.port}"
+
+    @staticmethod
+    def parse(text: str) -> "Address":
+        """Parse ``"node:port"`` (port optional)."""
+        if not text:
+            raise AddressError("empty address")
+        node, sep, port = text.partition(":")
+        if not node:
+            raise AddressError(f"address {text!r} has no node part")
+        return Address(node, port if sep else "default")
+
+    def with_port(self, port: str) -> "Address":
+        return Address(self.node, port)
+
+
+Receiver = Callable[[Address, bytes], None]
+
+
+class Scheduler(Protocol):
+    """Timer facility: virtual time under simulation, real time otherwise."""
+
+    def now(self) -> float:
+        ...
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> Any:
+        """Run ``fn(*args)`` after ``delay`` seconds; returns a cancellable handle."""
+        ...
+
+
+class Transport(abc.ABC):
+    """One endpoint's best-effort datagram interface."""
+
+    def __init__(self, local: Address):
+        self._local = local
+        self._receiver: Optional[Receiver] = None
+        self._closed = False
+        self.sent_messages = 0
+        self.sent_bytes = 0
+        self.received_messages = 0
+        self.received_bytes = 0
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def local_address(self) -> Address:
+        return self._local
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    @abc.abstractmethod
+    def scheduler(self) -> Scheduler:
+        """The timer facility for this transport's world."""
+
+    # --------------------------------------------------------------- sending
+
+    def send(self, destination: Address, payload: bytes) -> None:
+        """Send bytes, best-effort. Raises only on local errors (closed
+        endpoint, bad address) — remote loss is silent, as on a real network.
+        """
+        if self._closed:
+            raise TransportClosedError(f"{self._local} is closed")
+        if not isinstance(payload, (bytes, bytearray)):
+            raise TypeError(
+                f"transport payloads must be bytes, got {type(payload).__name__}"
+            )
+        self.sent_messages += 1
+        self.sent_bytes += len(payload)
+        self._send(destination, bytes(payload))
+
+    @abc.abstractmethod
+    def _send(self, destination: Address, payload: bytes) -> None:
+        """Technology-specific transmission."""
+
+    # ------------------------------------------------------------- receiving
+
+    def set_receiver(self, receiver: Optional[Receiver]) -> None:
+        """Install the upper-layer receive callback (one per endpoint)."""
+        self._receiver = receiver
+
+    def _dispatch(self, source: Address, payload: bytes) -> None:
+        """Called by subclasses when bytes arrive for this endpoint."""
+        if self._closed:
+            return
+        self.received_messages += 1
+        self.received_bytes += len(payload)
+        if self._receiver is not None:
+            self._receiver(source, payload)
+
+    # --------------------------------------------------------------- closing
+
+    def close(self) -> None:
+        """Close the endpoint; further sends raise, further receives drop."""
+        self._closed = True
+
+
+class RealTimeScheduler:
+    """A Scheduler over wall-clock time using ``threading.Timer``.
+
+    Provided for completeness (running the middleware outside the simulator);
+    tests and experiments always use virtual-time schedulers.
+    """
+
+    def __init__(self) -> None:
+        import time
+
+        self._time = time
+
+    def now(self) -> float:
+        return self._time.monotonic()
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> Any:
+        import threading
+
+        timer = threading.Timer(max(0.0, delay), fn, args=args)
+        timer.daemon = True
+        timer.start()
+        return timer

@@ -1,0 +1,78 @@
+"""Channel multiplexing over one transport endpoint.
+
+A :class:`Multiplexer` wraps a transport and hands out named
+:class:`ChannelTransport` views. Each middleware service (discovery, RPC,
+pub/sub, ...) gets its own channel without consuming another port on the
+fabric. Frames carry a length-prefixed channel name::
+
+    u16 name length (big-endian) + name utf-8 + payload
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict
+
+from repro.errors import ConfigurationError, DeliveryError
+from repro.transport.base import Address, Scheduler, Transport
+
+_LEN = struct.Struct(">H")
+
+
+class Multiplexer:
+    """Demultiplexes channel frames arriving on the wrapped transport."""
+
+    def __init__(self, inner: Transport):
+        self.inner = inner
+        self._channels: Dict[str, "ChannelTransport"] = {}
+        inner.set_receiver(self._on_frame)
+
+    def channel(self, name: str) -> "ChannelTransport":
+        """Create (once) and return the channel named ``name``."""
+        if not name:
+            raise ConfigurationError("channel name must be non-empty")
+        if len(name.encode("utf-8")) > 0xFFFF:
+            raise ConfigurationError(f"channel name too long: {name[:32]!r}...")
+        if name in self._channels:
+            return self._channels[name]
+        channel = ChannelTransport(self.inner.local_address, self, name)
+        self._channels[name] = channel
+        return channel
+
+    def _transmit(self, name: str, destination: Address, payload: bytes) -> None:
+        encoded = name.encode("utf-8")
+        self.inner.send(destination, _LEN.pack(len(encoded)) + encoded + payload)
+
+    def _on_frame(self, source: Address, frame: bytes) -> None:
+        if len(frame) < _LEN.size:
+            raise DeliveryError(f"malformed mux frame from {source}")
+        (name_length,) = _LEN.unpack_from(frame, 0)
+        header_end = _LEN.size + name_length
+        if len(frame) < header_end:
+            raise DeliveryError(f"truncated mux frame from {source}")
+        name = frame[_LEN.size:header_end].decode("utf-8")
+        channel = self._channels.get(name)
+        if channel is None or channel.closed:
+            return  # no listener on this channel: drop, like an unbound port
+        channel._dispatch(source, frame[header_end:])
+
+    def close(self) -> None:
+        for channel in self._channels.values():
+            Transport.close(channel)
+        self.inner.close()
+
+
+class ChannelTransport(Transport):
+    """A named channel view over a multiplexer; behaves as a Transport."""
+
+    def __init__(self, local: Address, mux: Multiplexer, name: str):
+        super().__init__(local)
+        self._mux = mux
+        self.name = name
+
+    @property
+    def scheduler(self) -> Scheduler:
+        return self._mux.inner.scheduler
+
+    def _send(self, destination: Address, payload: bytes) -> None:
+        self._mux._transmit(self.name, destination, payload)

@@ -1,0 +1,166 @@
+"""Reliable delivery over any best-effort transport.
+
+Adds per-destination sequence numbers, positive acknowledgements,
+timeout-based retransmission with exponential backoff, and duplicate
+suppression at the receiver. This is the layer the paper's "transactions"
+ride on when the underlying network is lossy.
+
+Frame format (kept binary-tight because the overhead experiments count
+bytes)::
+
+    DATA: b'D' + seq(u64 big-endian) + payload
+    ACK:  b'A' + seq(u64 big-endian)
+
+Broadcast destinations are sent once, unacknowledged — a broadcast has no
+single acker.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError, DeliveryError
+from repro.transport.base import Address, Scheduler, Transport
+from repro.transport.simnet import BROADCAST_NODE
+
+_SEQ = struct.Struct(">Q")
+DATA_FLAG = b"D"
+ACK_FLAG = b"A"
+
+#: Bytes of reliability header on each data frame.
+RELIABLE_HEADER_BYTES = 1 + _SEQ.size
+
+
+@dataclass(frozen=True)
+class ReliabilityParams:
+    """Tuning knobs for the retransmission policy (bench E12 ablates these)."""
+
+    ack_timeout_s: float = 0.2
+    max_retries: int = 5
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.ack_timeout_s <= 0:
+            raise ConfigurationError(f"ack timeout must be positive, got {self.ack_timeout_s!r}")
+        if self.max_retries < 0:
+            raise ConfigurationError(f"max retries must be >= 0, got {self.max_retries!r}")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(f"backoff factor must be >= 1, got {self.backoff_factor!r}")
+
+    def timeout_for_attempt(self, attempt: int) -> float:
+        """Timeout before the (attempt+1)-th retransmission."""
+        return self.ack_timeout_s * (self.backoff_factor**attempt)
+
+
+GiveUpCallback = Callable[[Address, bytes], None]
+
+
+class ReliableTransport(Transport):
+    """Wraps an unreliable transport with ack/retransmit/dedup.
+
+    The wrapped transport's receiver slot is taken over; install the
+    application receiver on *this* object. ``on_give_up`` (optional) is
+    called when a message exhausts its retries — the sender's only failure
+    signal, since the network itself says nothing.
+    """
+
+    def __init__(
+        self,
+        inner: Transport,
+        params: ReliabilityParams = ReliabilityParams(),
+        on_give_up: Optional[GiveUpCallback] = None,
+    ):
+        super().__init__(inner.local_address)
+        self.inner = inner
+        self.params = params
+        self.on_give_up = on_give_up
+        self._next_seq: Dict[Address, int] = {}
+        # (destination, seq) -> (payload, attempt, timer handle)
+        self._pending: Dict[Tuple[Address, int], Tuple[bytes, int, object]] = {}
+        self._seen: Dict[Address, Set[int]] = {}
+        self.retransmissions = 0
+        self.duplicates_suppressed = 0
+        self.acks_sent = 0
+        self.give_ups = 0
+        inner.set_receiver(self._on_frame)
+
+    @property
+    def scheduler(self) -> Scheduler:
+        return self.inner.scheduler
+
+    # --------------------------------------------------------------- sending
+
+    def _send(self, destination: Address, payload: bytes) -> None:
+        if destination.node == BROADCAST_NODE:
+            # Fire-and-forget: broadcast cannot be positively acknowledged.
+            self.inner.send(destination, DATA_FLAG + _SEQ.pack(0) + payload)
+            return
+        seq = self._next_seq.get(destination, 1)
+        self._next_seq[destination] = seq + 1
+        self._transmit(destination, seq, payload, attempt=0)
+
+    def _transmit(self, destination: Address, seq: int, payload: bytes, attempt: int) -> None:
+        frame = DATA_FLAG + _SEQ.pack(seq) + payload
+        self.inner.send(destination, frame)
+        timeout = self.params.timeout_for_attempt(attempt)
+        handle = self.scheduler.schedule(timeout, self._on_timeout, destination, seq)
+        self._pending[(destination, seq)] = (payload, attempt, handle)
+
+    def _on_timeout(self, destination: Address, seq: int) -> None:
+        entry = self._pending.pop((destination, seq), None)
+        if entry is None:
+            return  # acked in the meantime
+        payload, attempt, _handle = entry
+        if attempt >= self.params.max_retries:
+            self.give_ups += 1
+            if self.on_give_up is not None:
+                self.on_give_up(destination, payload)
+            return
+        self.retransmissions += 1
+        self._transmit(destination, seq, payload, attempt + 1)
+
+    # ------------------------------------------------------------- receiving
+
+    def _on_frame(self, source: Address, frame: bytes) -> None:
+        if len(frame) < 1 + _SEQ.size:
+            raise DeliveryError(
+                f"malformed reliable frame from {source}: {len(frame)} bytes"
+            )
+        flag, seq = frame[:1], _SEQ.unpack_from(frame, 1)[0]
+        if flag == ACK_FLAG:
+            entry = self._pending.pop((source, seq), None)
+            if entry is not None:
+                _payload, _attempt, handle = entry
+                cancel = getattr(handle, "cancel", None)
+                if cancel is not None:
+                    cancel()
+            return
+        if flag != DATA_FLAG:
+            raise DeliveryError(f"unknown reliable frame flag {flag!r} from {source}")
+        payload = frame[1 + _SEQ.size:]
+        if seq == 0:
+            # Unacknowledged broadcast frame: deliver as-is.
+            self._dispatch(source, payload)
+            return
+        # Always ack, even duplicates — the original ack may have been lost.
+        self.acks_sent += 1
+        self.inner.send(source, ACK_FLAG + _SEQ.pack(seq))
+        seen = self._seen.setdefault(source, set())
+        if seq in seen:
+            self.duplicates_suppressed += 1
+            return
+        seen.add(seq)
+        self._dispatch(source, payload)
+
+    # --------------------------------------------------------------- closing
+
+    def close(self) -> None:
+        super().close()
+        for _payload, _attempt, handle in self._pending.values():
+            cancel = getattr(handle, "cancel", None)
+            if cancel is not None:
+                cancel()
+        self._pending.clear()
+        self.inner.close()

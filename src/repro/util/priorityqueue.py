@@ -1,0 +1,88 @@
+"""A stable priority queue with lazy deletion.
+
+The simulator's event loop and the transaction scheduler both need a queue
+that (a) breaks priority ties in insertion order — determinism — and
+(b) supports cancelling entries without an O(n) remove.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+_REMOVED = object()
+
+
+class StablePriorityQueue(Generic[T]):
+    """Min-heap keyed by (priority, insertion sequence).
+
+    Entries with equal priority pop in the order they were pushed. ``push``
+    returns an opaque handle usable with :meth:`cancel`.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[List[Any]] = []
+        self._seq = itertools.count()
+        self._live = 0
+
+    def push(self, priority: Any, item: T) -> List[Any]:
+        entry = [priority, next(self._seq), item]
+        heapq.heappush(self._heap, entry)
+        self._live += 1
+        return entry
+
+    def cancel(self, entry: List[Any]) -> bool:
+        """Mark an entry removed; returns False if already popped/cancelled."""
+        if entry[2] is _REMOVED:
+            return False
+        entry[2] = _REMOVED
+        self._live -= 1
+        return True
+
+    def pop(self) -> Tuple[Any, T]:
+        """Remove and return ``(priority, item)`` for the smallest entry."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            priority, _seq, item = entry
+            if item is not _REMOVED:
+                # Mark popped so a late cancel() of the same handle is a no-op.
+                entry[2] = _REMOVED
+                self._live -= 1
+                return priority, item
+        raise IndexError("pop from empty priority queue")
+
+    def peek(self) -> Tuple[Any, T]:
+        """Return ``(priority, item)`` for the smallest entry, not removing it."""
+        while self._heap:
+            priority, _seq, item = self._heap[0]
+            if item is not _REMOVED:
+                return priority, item
+            heapq.heappop(self._heap)
+        raise IndexError("peek into empty priority queue")
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def __iter__(self) -> Iterator[Tuple[Any, T]]:
+        """Iterate live entries in heap order (not sorted)."""
+        return (
+            (priority, item)
+            for priority, _seq, item in self._heap
+            if item is not _REMOVED
+        )
+
+    def pop_if_at_most(self, bound: Any) -> Optional[Tuple[Any, T]]:
+        """Pop the smallest entry if its priority is <= ``bound``, else None."""
+        try:
+            priority, _item = self.peek()
+        except IndexError:
+            return None
+        if priority > bound:
+            return None
+        return self.pop()

@@ -1,0 +1,126 @@
+"""A single-assignment future for callback-style asynchronous APIs.
+
+The middleware is event-driven over virtual time — there are no threads to
+block — so asynchronous operations (RPC calls, lookups) return a
+:class:`Promise`. Callbacks added after completion fire immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generic, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+_PENDING = "pending"
+_FULFILLED = "fulfilled"
+_REJECTED = "rejected"
+
+
+class PromisePending(Exception):
+    """Raised by :meth:`Promise.result` when the promise is not settled."""
+
+
+class Promise(Generic[T]):
+    """Settles exactly once with a value or an error."""
+
+    def __init__(self) -> None:
+        self._state = _PENDING
+        self._value: Optional[T] = None
+        self._error: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Promise[T]"], None]] = []
+
+    # ------------------------------------------------------------- settling
+
+    def fulfill(self, value: T) -> None:
+        """Settle successfully; later settle attempts are ignored (first wins)."""
+        if self._state != _PENDING:
+            return
+        self._state = _FULFILLED
+        self._value = value
+        self._run_callbacks()
+
+    def reject(self, error: BaseException) -> None:
+        """Settle with an error; later settle attempts are ignored."""
+        if self._state != _PENDING:
+            return
+        self._state = _REJECTED
+        self._error = error
+        self._run_callbacks()
+
+    def _run_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    # -------------------------------------------------------------- reading
+
+    @property
+    def pending(self) -> bool:
+        return self._state == _PENDING
+
+    @property
+    def fulfilled(self) -> bool:
+        return self._state == _FULFILLED
+
+    @property
+    def rejected(self) -> bool:
+        return self._state == _REJECTED
+
+    def result(self) -> T:
+        """The value; raises the error if rejected, PromisePending if pending."""
+        if self._state == _PENDING:
+            raise PromisePending("promise has not settled")
+        if self._state == _REJECTED:
+            assert self._error is not None
+            raise self._error
+        return self._value  # type: ignore[return-value]
+
+    def error(self) -> Optional[BaseException]:
+        return self._error
+
+    # ------------------------------------------------------------- chaining
+
+    def on_settle(self, callback: Callable[["Promise[T]"], None]) -> "Promise[T]":
+        """Run ``callback(self)`` once settled (immediately if already)."""
+        if self._state == _PENDING:
+            self._callbacks.append(callback)
+        else:
+            callback(self)
+        return self
+
+    def on_value(self, callback: Callable[[T], None]) -> "Promise[T]":
+        return self.on_settle(
+            lambda p: callback(p._value) if p.fulfilled else None  # type: ignore[arg-type]
+        )
+
+    def on_error(self, callback: Callable[[BaseException], None]) -> "Promise[T]":
+        return self.on_settle(
+            lambda p: callback(p._error) if p.rejected else None  # type: ignore[arg-type]
+        )
+
+
+def gather(promises: List[Promise[Any]]) -> Promise[List[Any]]:
+    """A promise fulfilled with all values, or rejected with the first error."""
+    combined: Promise[List[Any]] = Promise()
+    remaining = len(promises)
+    if remaining == 0:
+        combined.fulfill([])
+        return combined
+    results: List[Any] = [None] * remaining
+
+    def make_callback(index: int) -> Callable[[Promise[Any]], None]:
+        def callback(settled: Promise[Any]) -> None:
+            nonlocal remaining
+            if settled.rejected:
+                combined.reject(settled.error())  # type: ignore[arg-type]
+                return
+            results[index] = settled.result()
+            remaining -= 1
+            if remaining == 0:
+                combined.fulfill(results)
+
+        return callback
+
+    for i, promise in enumerate(promises):
+        promise.on_settle(make_callback(i))
+    return combined

@@ -1,0 +1,30 @@
+"""Shared fixtures: prebuilt simulated networks and fabrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim import topology
+from repro.netsim.medium import IDEAL_RADIO
+from repro.transport.simnet import SimFabric
+
+
+@pytest.fixture
+def star():
+    """A 6-leaf star network and its fabric (lossy 802.11 profile)."""
+    network = topology.star(6, radius=40)
+    return network, SimFabric(network)
+
+
+@pytest.fixture
+def ideal_star():
+    """A 6-leaf star over an ideal (lossless, instant) radio."""
+    network = topology.star(6, radius=40, radio_profile=IDEAL_RADIO)
+    return network, SimFabric(network)
+
+
+@pytest.fixture
+def chain():
+    """A 5-node multi-hop chain (only adjacent nodes in range)."""
+    network = topology.linear_chain(5, spacing=60)
+    return network, SimFabric(network)

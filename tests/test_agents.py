@@ -1,0 +1,155 @@
+"""Tests for mobile software agents (§3.6's first-listed technology)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TransactionError
+from repro.netsim import topology
+from repro.netsim.medium import IDEAL_RADIO
+from repro.transactions.agents import AgentHost, MobileAgent
+from repro.transport.base import Address
+from repro.transport.simnet import SimFabric
+
+
+class ReadingCollector(MobileAgent):
+    """Collects the 'reading' service value at every stop."""
+
+    def visit(self, host):
+        readings = self.state.setdefault("readings", [])
+        read = host.services.get("reading")
+        readings.append(read() if callable(read) else None)
+        self.state.setdefault("route", []).append(str(host.address))
+
+
+class MaxFinder(MobileAgent):
+    """Tracks the maximum reading and where it was seen."""
+
+    def visit(self, host):
+        value = host.services["reading"]()
+        if value > self.state.get("max", float("-inf")):
+            self.state["max"] = value
+            self.state["where"] = host.address.node
+
+
+class Crasher(MobileAgent):
+    def visit(self, host):
+        raise RuntimeError("agent bug")
+
+
+def build_network(values):
+    """A star where each leaf offers a 'reading' service to agents."""
+    network = topology.star(len(values) + 1, radius=40,
+                            radio_profile=IDEAL_RADIO)
+    fabric = SimFabric(network)
+    hosts = {}
+    hosts["hub"] = AgentHost(fabric.endpoint("hub", "agents"))
+    for i, value in enumerate(values):
+        hosts[f"leaf{i}"] = AgentHost(
+            fabric.endpoint(f"leaf{i}", "agents"),
+            services={"reading": lambda v=value: v},
+        )
+    return network, hosts
+
+
+class TestMobileAgents:
+    def test_agent_collects_across_itinerary(self):
+        network, hosts = build_network([10, 20, 30])
+        for host in hosts.values():
+            host.register(ReadingCollector)
+        itinerary = [Address(f"leaf{i}", "agents") for i in range(3)]
+        promise = hosts["hub"].dispatch(ReadingCollector(), itinerary)
+        network.sim.run()
+        state = promise.result()
+        assert state["readings"] == [10, 20, 30]
+        assert state["route"] == [f"leaf{i}:agents" for i in range(3)]
+
+    def test_max_finder(self):
+        network, hosts = build_network([5, 42, 17])
+        for host in hosts.values():
+            host.register(MaxFinder)
+        promise = hosts["hub"].dispatch(
+            MaxFinder(), [Address(f"leaf{i}", "agents") for i in range(3)]
+        )
+        network.sim.run()
+        assert promise.result() == {"max": 42, "where": "leaf1"}
+
+    def test_single_network_crossing_per_hop(self):
+        """The agent's efficiency claim: N stops cost N+1 messages, not 2N."""
+        network, hosts = build_network([1, 2, 3])
+        for host in hosts.values():
+            host.register(ReadingCollector)
+        before = network.medium.transmissions
+        promise = hosts["hub"].dispatch(
+            ReadingCollector(), [Address(f"leaf{i}", "agents") for i in range(3)]
+        )
+        network.sim.run()
+        assert promise.fulfilled
+        assert network.medium.transmissions - before == 4  # 3 hops + home
+
+    def test_unregistered_agent_refused(self):
+        network, hosts = build_network([1, 2])
+        hosts["hub"].register(ReadingCollector)
+        hosts["leaf0"].register(ReadingCollector)
+        # leaf1 does NOT register the class.
+        promise = hosts["hub"].dispatch(
+            ReadingCollector(),
+            [Address("leaf0", "agents"), Address("leaf1", "agents")],
+        )
+        network.sim.run()
+        assert promise.rejected
+        with pytest.raises(TransactionError):
+            promise.result()
+        assert hosts["leaf1"].agents_refused == 1
+
+    def test_agent_exception_reported_home(self):
+        network, hosts = build_network([1])
+        hosts["hub"].register(Crasher)
+        hosts["leaf0"].register(Crasher)
+        promise = hosts["hub"].dispatch(Crasher(), [Address("leaf0", "agents")])
+        network.sim.run()
+        assert promise.rejected
+        assert "agent bug" in str(promise.error())
+
+    def test_dispatch_requires_local_registration(self):
+        network, hosts = build_network([1])
+        with pytest.raises(ConfigurationError):
+            hosts["hub"].dispatch(ReadingCollector(), [Address("leaf0", "agents")])
+
+    def test_empty_itinerary_rejected(self):
+        network, hosts = build_network([1])
+        hosts["hub"].register(ReadingCollector)
+        with pytest.raises(ConfigurationError):
+            hosts["hub"].dispatch(ReadingCollector(), [])
+
+    def test_host_events(self):
+        network, hosts = build_network([1])
+        for host in hosts.values():
+            host.register(ReadingCollector)
+        arrivals = []
+        hosts["leaf0"].events.on("agent_arrived", arrivals.append)
+        hosts["hub"].dispatch(ReadingCollector(), [Address("leaf0", "agents")])
+        network.sim.run()
+        assert arrivals == ["ReadingCollector"]
+
+    def test_custom_agent_name(self):
+        class Named(MobileAgent):
+            agent_name = "custom-name"
+
+            def visit(self, host):
+                self.state["visited"] = True
+
+        network, hosts = build_network([1])
+        for host in hosts.values():
+            host.register(Named)
+        promise = hosts["hub"].dispatch(Named(), [Address("leaf0", "agents")])
+        network.sim.run()
+        assert promise.result() == {"visited": True}
+
+    def test_concurrent_agents_of_same_class(self):
+        network, hosts = build_network([7, 8])
+        for host in hosts.values():
+            host.register(MaxFinder)
+        first = hosts["hub"].dispatch(MaxFinder(), [Address("leaf0", "agents")])
+        second = hosts["hub"].dispatch(MaxFinder(), [Address("leaf1", "agents")])
+        network.sim.run()
+        results = sorted([first.result()["max"], second.result()["max"]])
+        assert results == [7, 8]

@@ -1,0 +1,97 @@
+"""Devices + naming integration: the paper's location/tracking story.
+
+RFID readers at doorways and a GPS-equipped vehicle feed the location
+service, so consumers resolve a *logical* asset name to its current
+physical attachment point — §2's tags/GPS feeding §3.5/§3.10's logical-vs-
+physical location machinery.
+"""
+
+import pytest
+
+from repro.naming.locator import LocationClient, LocationServer
+from repro.naming.names import LogicalName
+from repro.netsim.devices import GpsDevice, RfidReader, RfidTag
+from repro.netsim.mobility import LinearMobility
+from repro.netsim.network import Network
+from repro.transport.base import Address
+from repro.transport.inmemory import InMemoryFabric
+from repro.util.geometry import Point
+
+
+class TestRfidDoorwayTracking:
+    def test_asset_location_follows_reader_sightings(self):
+        fabric = InMemoryFabric(latency_s=0.005)
+        server = LocationServer(fabric.endpoint("registry", "loc"))
+        client = LocationClient(fabric.endpoint("tracker", "loc"),
+                                server.transport.local_address)
+        asset = LogicalName.parse("assets/pallet-7")
+        tag = RfidTag("pallet-7", Point(0, 0), memory={"owner": "ward3"})
+
+        # The pallet passes doorway A: reader sees it, tracker binds it there.
+        door_a = RfidReader(Point(0, 0), range_m=2.0, seed=1)
+        door_a.place_tag(tag)
+        assert "pallet-7" in door_a.inventory().read_tags
+        client.bind(asset, Address("door-a", "dock"))
+        fabric.run()
+
+        resolved = client.resolve(asset)
+        fabric.run()
+        assert resolved.result() == Address("door-a", "dock")
+
+        # It moves; doorway B sees it; the binding moves with it.
+        tag.position = Point(50, 0)
+        door_b = RfidReader(Point(50, 0), range_m=2.0, seed=2)
+        door_b.place_tag(tag)
+        assert "pallet-7" in door_b.inventory().read_tags
+        assert "pallet-7" not in door_a.inventory().read_tags  # left A's field
+        client.bind(asset, Address("door-b", "dock"))
+        fabric.run()
+        resolved = client.resolve(asset)
+        fabric.run()
+        assert resolved.result() == Address("door-b", "dock")
+
+    def test_tag_memory_identifies_owner_for_binding(self):
+        reader = RfidReader(Point(0, 0), range_m=2.0)
+        reader.place_tag(RfidTag("t1", Point(0.5, 0), memory={"owner": "icu"}))
+        result = reader.inventory()
+        owners = {tid: reader.read_memory(tid, "owner") for tid in result.read_tags}
+        assert owners == {"t1": "icu"}
+
+
+class TestGpsVehicleTracking:
+    def test_vehicle_rebinds_to_nearest_depot(self):
+        # A vehicle crosses two depot coverage zones; its GPS fixes decide
+        # which depot address its logical name binds to.
+        network = Network()
+        vehicle = network.add_node(
+            "truck", mobility=LinearMobility(Point(0, 0), velocity=(20.0, 0.0))
+        )
+        gps = GpsDevice(vehicle, accuracy_m=1.0, acquisition_s=0.0, seed=5)
+        depots = {"depot-west": Point(0, 0), "depot-east": Point(400, 0)}
+
+        fabric = InMemoryFabric(latency_s=0.005)
+        server = LocationServer(fabric.endpoint("registry", "loc"))
+        client = LocationClient(fabric.endpoint("truck-agent", "loc"),
+                                server.transport.local_address)
+        name = LogicalName.parse("fleet/truck-9")
+
+        def nearest_depot() -> str:
+            fix = gps.fix()
+            assert fix is not None
+            return min(depots, key=lambda d: fix.distance_to(depots[d]))
+
+        network.sim.run_until(1.0)
+        client.bind(name, Address(nearest_depot(), "yard"))
+        fabric.run()
+        first = client.resolve(name)
+        fabric.run()
+        assert first.result().node == "depot-west"
+
+        network.sim.run_until(15.0)  # 300 m east: now closer to depot-east
+        client.bind(name, Address(nearest_depot(), "yard"))
+        fabric.run()
+        second = client.resolve(name)
+        fabric.run()
+        assert second.result().node == "depot-east"
+        # Version monotonicity kept the newest binding authoritative.
+        assert server.binding("fleet/truck-9").version == 2

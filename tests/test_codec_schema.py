@@ -1,0 +1,186 @@
+"""Tests for codecs and interface schemas."""
+
+import pytest
+
+from repro.errors import CodecError, SchemaError
+from repro.interop.codec import BinaryCodec, JsonCodec, SmlCodec, get_codec
+from repro.interop.schema import FieldSpec, InterfaceSchema, MessageSchema
+
+SAMPLE_VALUES = [
+    None,
+    True,
+    False,
+    0,
+    -1,
+    2**40,
+    -(2**70),  # bigint path
+    1.5,
+    -0.0,
+    "",
+    "unicode: héllo ✓",
+    b"",
+    b"\x00\xff\x10",
+    [],
+    [1, [2, [3]]],
+    {},
+    {"k": "v", "nested": {"a": [1, None, True]}},
+]
+
+
+class TestBinaryCodec:
+    @pytest.mark.parametrize("value", SAMPLE_VALUES, ids=repr)
+    def test_round_trip(self, value):
+        codec = BinaryCodec()
+        assert codec.decode(codec.encode(value)) == value
+
+    def test_truncated_payload_rejected(self):
+        codec = BinaryCodec()
+        encoded = codec.encode({"key": "value"})
+        with pytest.raises(CodecError):
+            codec.decode(encoded[:-3])
+
+    def test_trailing_bytes_rejected(self):
+        codec = BinaryCodec()
+        with pytest.raises(CodecError):
+            codec.decode(codec.encode(1) + b"extra")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(CodecError):
+            BinaryCodec().decode(b"Z")
+
+    def test_non_string_dict_keys_rejected(self):
+        with pytest.raises(CodecError):
+            BinaryCodec().encode({1: "x"})
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(CodecError):
+            BinaryCodec().encode(object())
+
+    def test_tuple_encodes_as_list(self):
+        codec = BinaryCodec()
+        assert codec.decode(codec.encode((1, 2))) == [1, 2]
+
+
+class TestJsonCodec:
+    def test_round_trip(self):
+        codec = JsonCodec()
+        value = {"a": [1, 2.5, None, True, "x"]}
+        assert codec.decode(codec.encode(value)) == value
+
+    def test_bytes_rejected(self):
+        with pytest.raises(CodecError):
+            JsonCodec().encode({"blob": b"\x00"})
+
+    def test_bad_payload_rejected(self):
+        with pytest.raises(CodecError):
+            JsonCodec().decode(b"{not json")
+
+
+class TestSmlCodec:
+    @pytest.mark.parametrize("value", SAMPLE_VALUES, ids=repr)
+    def test_round_trip(self, value):
+        codec = SmlCodec()
+        assert codec.decode(codec.encode(value)) == value
+
+    def test_output_is_markup(self):
+        encoded = SmlCodec().encode({"k": 1})
+        assert encoded.startswith(b"<dict>")
+
+    def test_markup_is_larger_than_binary(self):
+        value = {"reading": 21.5, "unit": "C", "ok": True}
+        assert len(SmlCodec().encode(value)) > len(BinaryCodec().encode(value))
+
+    def test_bad_markup_value_rejected(self):
+        with pytest.raises(CodecError):
+            SmlCodec().decode(b"<int>not-a-number</int>")
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert get_codec("binary").name == "binary"
+        assert get_codec("json").name == "json"
+        assert get_codec("sml").name == "sml"
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(CodecError):
+            get_codec("protobuf")
+
+
+class TestMessageSchema:
+    def test_valid_message_passes(self):
+        schema = MessageSchema("m", (FieldSpec("a", "int"), FieldSpec("b", "str")))
+        schema.validate({"a": 1, "b": "x"})
+
+    def test_missing_required_field_rejected(self):
+        schema = MessageSchema("m", (FieldSpec("a", "int"),))
+        with pytest.raises(SchemaError):
+            schema.validate({})
+
+    def test_optional_field_may_be_absent(self):
+        schema = MessageSchema("m", (FieldSpec("a", "int", required=False),))
+        schema.validate({})
+
+    def test_wrong_type_rejected(self):
+        schema = MessageSchema("m", (FieldSpec("a", "int"),))
+        with pytest.raises(SchemaError):
+            schema.validate({"a": "not int"})
+
+    def test_bool_is_not_int(self):
+        schema = MessageSchema("m", (FieldSpec("a", "int"),))
+        with pytest.raises(SchemaError):
+            schema.validate({"a": True})
+
+    def test_int_accepted_as_float(self):
+        schema = MessageSchema("m", (FieldSpec("a", "float"),))
+        schema.validate({"a": 3})
+
+    def test_unknown_field_rejected(self):
+        schema = MessageSchema("m", (FieldSpec("a", "int"),))
+        with pytest.raises(SchemaError):
+            schema.validate({"a": 1, "extra": 2})
+
+    def test_unknown_type_name_rejected(self):
+        with pytest.raises(SchemaError):
+            FieldSpec("a", "complex128")
+
+
+class TestInterfaceSchema:
+    def build(self):
+        schema = InterfaceSchema("thermo")
+        schema.add_operation(
+            "read", [FieldSpec("unit", "str"), FieldSpec("precision", "int", required=False)],
+            returns="float",
+        )
+        schema.add_operation("reset", [], returns="bool")
+        return schema
+
+    def test_operation_lookup(self):
+        schema = self.build()
+        assert schema.operation("read").returns == "float"
+        with pytest.raises(SchemaError):
+            schema.operation("missing")
+
+    def test_duplicate_operation_rejected(self):
+        schema = self.build()
+        with pytest.raises(SchemaError):
+            schema.add_operation("read", [])
+
+    def test_param_validation(self):
+        schema = self.build()
+        schema.operation("read").validate_params({"unit": "C"})
+        with pytest.raises(SchemaError):
+            schema.operation("read").validate_params({"unit": 5})
+
+    def test_result_validation(self):
+        schema = self.build()
+        schema.operation("read").validate_result(21.5)
+        with pytest.raises(SchemaError):
+            schema.operation("read").validate_result("warm")
+
+    def test_markup_round_trip(self):
+        schema = self.build()
+        rebuilt = InterfaceSchema.from_markup(schema.markup())
+        assert sorted(rebuilt.operations) == ["read", "reset"]
+        read = rebuilt.operation("read")
+        assert read.returns == "float"
+        assert [f.required for f in read.params.fields] == [True, False]

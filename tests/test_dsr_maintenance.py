@@ -1,0 +1,116 @@
+"""DSR route maintenance: stale routes are repaired, not black holes."""
+
+import pytest
+
+from repro.netsim.network import Network
+from repro.routing.base import build_routed_network
+from repro.routing.dsr import DsrRouter
+from repro.transport.base import Address
+from repro.transport.simnet import SimFabric
+from repro.util.geometry import Point
+
+
+def diamond_network():
+    """src - {top, bottom} - dst: two disjoint relay paths."""
+    network = Network()
+    network.add_node("src", position=Point(0, 0))
+    network.add_node("top", position=Point(70, 40))
+    network.add_node("bottom", position=Point(70, -40))
+    network.add_node("dst", position=Point(140, 0))
+    fabric = SimFabric(network)
+    agents = build_routed_network(
+        fabric, lambda nid: DsrRouter(nid, discovery_timeout_s=1.0)
+    )
+    return network, agents
+
+
+class TestDsrRouteMaintenance:
+    def test_origin_repairs_stale_cached_route(self):
+        network, agents = diamond_network()
+        src = agents["src"].open_port("app")
+        dst = agents["dst"].open_port("app")
+        received = []
+        dst.set_receiver(lambda source, data: received.append(data))
+        src.send(Address("dst", "app"), b"first")
+        network.sim.run()
+        assert received == [b"first"]
+        cached = agents["src"].router.cached_route("dst")
+        relay = cached[1]
+        network.node(relay).crash()
+        # The cached route is now stale; DSR must detect (no link-layer
+        # ack), purge, rediscover via the surviving relay, and deliver.
+        src.send(Address("dst", "app"), b"second")
+        network.sim.run()
+        assert received == [b"first", b"second"]
+        assert agents["src"].router.route_errors >= 1
+        new_route = agents["src"].router.cached_route("dst")
+        assert relay not in new_route
+
+    def test_purge_hop_removes_all_routes_through_it(self):
+        router = DsrRouter("n0")
+        router._route_cache = {
+            "a": ["n0", "x", "a"],
+            "b": ["n0", "x", "y", "b"],
+            "c": ["n0", "z", "c"],
+        }
+        purged = router.purge_hop("x")
+        assert purged == 2
+        assert list(router._route_cache) == ["c"]
+
+    def test_intermediate_salvage(self):
+        """A 4-hop chain: when hop 3 dies mid-path with a long detour
+        available, the intermediate node salvages in-flight traffic."""
+        network = Network()
+        # chain src - r1 - r2 - dst, plus a detour r1 - alt - dst
+        network.add_node("src", position=Point(0, 0))
+        network.add_node("r1", position=Point(80, 0))
+        network.add_node("r2", position=Point(160, 0))
+        network.add_node("alt", position=Point(120, 70))
+        network.add_node("dst", position=Point(200, 40))
+        fabric = SimFabric(network)
+        agents = build_routed_network(
+            fabric, lambda nid: DsrRouter(nid, discovery_timeout_s=1.0)
+        )
+        src = agents["src"].open_port("app")
+        dst = agents["dst"].open_port("app")
+        received = []
+        dst.set_receiver(lambda source, data: received.append(data))
+        src.send(Address("dst", "app"), b"one")
+        network.sim.run()
+        assert received == [b"one"]
+        route = agents["src"].router.cached_route("dst")
+        assert len(route) >= 3
+        # Kill the hop after r1 on the cached route (route[2]).
+        victim = route[2]
+        if victim == "dst":
+            pytest.skip("two-hop route; no intermediate to salvage at")
+        network.node(victim).crash()
+        src.send(Address("dst", "app"), b"two")
+        network.sim.run()
+        # Either the origin repaired (its next hop check) or r1 salvaged;
+        # in both cases the data arrives and someone logged a route error.
+        assert received == [b"one", b"two"]
+        total_errors = sum(a.router.route_errors for a in agents.values())
+        assert total_errors >= 1
+
+    def test_unrepairable_route_fails_cleanly(self):
+        network = Network()
+        network.add_node("src", position=Point(0, 0))
+        network.add_node("only", position=Point(70, 0))
+        network.add_node("dst", position=Point(140, 0))
+        fabric = SimFabric(network)
+        agents = build_routed_network(
+            fabric, lambda nid: DsrRouter(nid, discovery_timeout_s=1.0)
+        )
+        src = agents["src"].open_port("app")
+        dst = agents["dst"].open_port("app")
+        received = []
+        dst.set_receiver(lambda source, data: received.append(data))
+        src.send(Address("dst", "app"), b"one")
+        network.sim.run()
+        assert received == [b"one"]
+        network.node("only").crash()  # no alternative exists
+        src.send(Address("dst", "app"), b"two")
+        network.sim.run()
+        assert received == [b"one"]
+        assert agents["src"].router.discovery_failures >= 1

@@ -1,0 +1,96 @@
+"""Tests for repro.netsim.energy."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netsim.energy import Battery, RadioEnergyModel, mains_battery
+
+
+class TestRadioEnergyModel:
+    def test_tx_cost_grows_with_distance(self):
+        model = RadioEnergyModel()
+        assert model.tx_cost(1000, 100.0) > model.tx_cost(1000, 10.0)
+
+    def test_tx_cost_grows_with_size(self):
+        model = RadioEnergyModel()
+        assert model.tx_cost(2000, 10.0) == pytest.approx(2 * model.tx_cost(1000, 10.0))
+
+    def test_tx_cost_at_zero_distance_is_electronics_only(self):
+        model = RadioEnergyModel(e_elec=50e-9, eps_amp=100e-12)
+        assert model.tx_cost(1000, 0.0) == pytest.approx(50e-9 * 1000)
+
+    def test_rx_cost_is_distance_independent(self):
+        model = RadioEnergyModel(e_elec=50e-9)
+        assert model.rx_cost(1000) == pytest.approx(50e-9 * 1000)
+
+    def test_path_loss_exponent(self):
+        free_space = RadioEnergyModel(path_loss_exponent=2.0)
+        multipath = RadioEnergyModel(path_loss_exponent=4.0)
+        assert multipath.tx_cost(1000, 50.0) > free_space.tx_cost(1000, 50.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RadioEnergyModel().tx_cost(-1, 10.0)
+        with pytest.raises(ConfigurationError):
+            RadioEnergyModel().rx_cost(-1)
+
+    def test_idle_cost(self):
+        model = RadioEnergyModel(idle_power=0.01)
+        assert model.idle_cost(10.0) == pytest.approx(0.1)
+        assert model.idle_cost(-5.0) == 0.0
+
+
+class TestBattery:
+    def test_starts_full(self):
+        battery = Battery(capacity=2.0)
+        assert battery.remaining == 2.0
+        assert battery.fraction_remaining == 1.0
+
+    def test_drain_reduces_charge(self):
+        battery = Battery(capacity=2.0)
+        assert battery.drain(0.5)
+        assert battery.remaining == pytest.approx(1.5)
+
+    def test_drain_to_zero_depletes(self):
+        battery = Battery(capacity=1.0)
+        assert not battery.drain(1.5)
+        assert battery.depleted
+        assert battery.remaining == 0.0
+
+    def test_drain_when_depleted_is_noop(self):
+        battery = Battery(capacity=1.0)
+        battery.drain(2.0)
+        assert not battery.drain(0.1)
+
+    def test_depletion_callback_fires_once(self):
+        battery = Battery(capacity=1.0)
+        fired = []
+        battery.on_depleted(lambda: fired.append(1))
+        battery.drain(0.6)
+        battery.drain(0.6)
+        battery.drain(0.6)
+        assert fired == [1]
+
+    def test_negative_drain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Battery().drain(-0.1)
+
+    def test_recharge_capped_at_capacity(self):
+        battery = Battery(capacity=2.0)
+        battery.drain(1.0)
+        battery.recharge(5.0)
+        assert battery.remaining == 2.0
+
+    def test_partial_initial_charge(self):
+        battery = Battery(capacity=2.0, remaining=0.5)
+        assert battery.fraction_remaining == pytest.approx(0.25)
+
+    def test_mains_battery_never_depletes(self):
+        battery = mains_battery()
+        assert battery.drain(1e12)
+        assert not battery.depleted
+        assert battery.fraction_remaining == 1.0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Battery(capacity=-1.0)

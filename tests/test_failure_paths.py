@@ -1,0 +1,151 @@
+"""Failure-injection tests across subsystem boundaries.
+
+Each test breaks something specific — registry down mid-session, broker
+crash, partition during a stream — and asserts the documented fallback
+behaviour (not just "no crash").
+"""
+
+import pytest
+
+from repro.discovery.adaptive import AdaptiveDiscovery, AdaptivePolicy
+from repro.discovery.description import ServiceDescription
+from repro.discovery.distributed import DistributedDiscovery
+from repro.discovery.matching import Query
+from repro.discovery.registry import RegistryClient, RegistryServer
+from repro.netsim import topology
+from repro.netsim.failures import FailureInjector
+from repro.netsim.medium import IDEAL_RADIO
+from repro.qos.spec import SupplierQoS
+from repro.transactions.manager import TransactionManager
+from repro.transactions.messaging import MessageBroker, MessagingClient
+from repro.transactions.rpc import RpcEndpoint
+from repro.transactions.transaction import TransactionKind, TransactionSpec
+from repro.transport.simnet import SimFabric
+
+
+class TestAdaptiveFallback:
+    def test_registry_death_forces_distributed_mode(self):
+        network = topology.star(5, radius=40, radio_profile=IDEAL_RADIO)
+        fabric = SimFabric(network)
+        server = RegistryServer(fabric.endpoint("hub", "registry"))
+        distributed = DistributedDiscovery(fabric.endpoint("leaf0", "disc"),
+                                           collect_window_s=0.5)
+        registry = RegistryClient(fabric.endpoint("leaf0", "reg"),
+                                  server.transport.local_address,
+                                  request_timeout_s=0.3, retries=0)
+        agent = AdaptiveDiscovery(
+            distributed, registry,
+            policy=AdaptivePolicy(density_threshold=1, reevaluate_interval_s=0.5,
+                                  registry_failure_limit=2),
+            density_probe=lambda: 10,  # dense: prefers centralized
+        )
+        assert agent.mode == "centralized"
+        # A supplier advertises via flooding so the fallback can find it.
+        supplier = DistributedDiscovery(fabric.endpoint("leaf1", "disc"),
+                                        collect_window_s=0.5)
+        supplier.advertise(ServiceDescription("svc", "cam", "leaf1:svc"))
+        network.sim.run_for(1.0)
+        # Registry dies; centralized lookups time out and fall back.
+        network.node("hub").crash()
+        first = agent.lookup(Query("cam"))
+        network.sim.run_for(5.0)
+        assert first.fulfilled
+        assert [d.service_id for d in first.result()] == ["svc"]
+        # A second timed-out lookup crosses the failure limit: the agent
+        # stops even trying the registry.
+        second = agent.lookup(Query("cam"))
+        network.sim.run_for(5.0)
+        assert second.fulfilled
+        assert agent.mode == "distributed"
+
+    def test_registry_recovery_restores_centralized(self):
+        network = topology.star(4, radius=40, radio_profile=IDEAL_RADIO)
+        fabric = SimFabric(network)
+        server = RegistryServer(fabric.endpoint("hub", "registry"))
+        distributed = DistributedDiscovery(fabric.endpoint("leaf0", "disc"))
+        registry = RegistryClient(fabric.endpoint("leaf0", "reg"),
+                                  server.transport.local_address,
+                                  request_timeout_s=0.3, retries=0)
+        agent = AdaptiveDiscovery(
+            distributed, registry,
+            policy=AdaptivePolicy(density_threshold=1, reevaluate_interval_s=0.5),
+            density_probe=lambda: 10,
+        )
+        agent._note_registry_failure()
+        agent._note_registry_failure()
+        network.sim.run_for(1.0)
+        assert agent.mode == "distributed"
+        agent.note_registry_recovered()
+        assert agent.mode == "centralized"
+
+
+class TestBrokerCrash:
+    def test_messages_lost_with_broker_are_bounded(self):
+        network = topology.star(4, radius=40, radio_profile=IDEAL_RADIO)
+        fabric = SimFabric(network)
+        broker = MessageBroker(fabric.endpoint("hub", "mq"),
+                               redelivery_timeout_s=0.5)
+        received = []
+        consumer = MessagingClient(fabric.endpoint("leaf0", "mq"),
+                                   broker.transport.local_address)
+        consumer.subscribe("jobs", received.append)
+        producer = MessagingClient(fabric.endpoint("leaf1", "mq"),
+                                   broker.transport.local_address)
+        network.sim.run_for(1.0)
+        for i in range(5):
+            producer.put("jobs", i)
+        network.sim.run_for(2.0)
+        assert received == [0, 1, 2, 3, 4]
+        # Broker crashes; messages sent during the outage are lost (MOM with
+        # a dead broker cannot help), but nothing hangs or errors.
+        network.node("hub").crash()
+        for i in range(5, 8):
+            producer.put("jobs", i)
+        network.sim.run_for(2.0)
+        assert received == [0, 1, 2, 3, 4]
+        # Broker restarts (volatile queues empty): new messages flow after
+        # the consumer resubscribes.
+        network.node("hub").recover()
+        consumer.subscribe("jobs", received.append)
+        network.sim.run_for(1.0)
+        producer.put("jobs", 99)
+        network.sim.run_for(2.0)
+        assert 99 in received
+
+
+class TestPartitionDuringStream:
+    def test_stream_pauses_and_resumes_across_partition(self):
+        network = topology.star(4, radius=40, radio_profile=IDEAL_RADIO)
+        fabric = SimFabric(network)
+        registry = RegistryServer(fabric.endpoint("hub", "registry"))
+        supplier_rpc = RpcEndpoint(fabric.endpoint("leaf0", "svc"))
+        supplier_rpc.expose("read", lambda **kw: 7)
+        RegistryClient(fabric.endpoint("leaf0", "reg"),
+                       registry.transport.local_address).register(
+            ServiceDescription("only", "sensor", "leaf0:svc",
+                               qos=SupplierQoS(reliability=0.99)), lease_s=300)
+        network.sim.run_for(1.0)
+        consumer_rpc = RpcEndpoint(fabric.endpoint("leaf1", "svc"))
+        discovery = RegistryClient(fabric.endpoint("leaf1", "disc"),
+                                   registry.transport.local_address)
+        manager = TransactionManager(consumer_rpc, discovery,
+                                     call_timeout_s=0.5,
+                                     failure_threshold=100)  # never give up
+        readings = []
+        promise = manager.establish(
+            Query("sensor"),
+            TransactionSpec(TransactionKind.CONTINUOUS, interval_s=1.0),
+            on_data=lambda value, latency: readings.append(network.sim.now()),
+        )
+        injector = FailureInjector(network)
+        injector.partition_at(5.0, ["leaf0"], duration=5.0)
+        network.sim.run_until(20.0)
+        transaction = promise.result()
+        assert transaction.state.value == "active"
+        # No deliveries during the partition window, flow on both sides.
+        in_partition = [t for t in readings if 5.5 <= t <= 10.0]
+        before = [t for t in readings if t < 5.0]
+        after = [t for t in readings if t > 11.0]
+        assert in_partition == []
+        assert before and after
+        assert transaction.failures > 0

@@ -1,0 +1,156 @@
+"""Second batch of edge-path coverage, including the WAL tail-repair fix."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.interop.bridge import CodecGateway
+from repro.interop.codec import get_codec
+from repro.netsim.trace import Summary
+from repro.qos.spec import ConsumerQoS, SupplierQoS, rank_matches
+from repro.recovery.store import TransactionalStore
+from repro.recovery.wal import BEGIN, COMMIT, StableStorage, WriteAheadLog
+from repro.routing.base import Envelope, RoutingAgent
+from repro.routing.flooding import FloodingRouter
+from repro.scheduling.handoff import HandoffManager
+from repro.transport.base import Address, RealTimeScheduler
+from repro.transport.inmemory import InMemoryFabric
+
+
+class TestWalTailRepair:
+    def test_appends_after_corruption_survive_reopen(self):
+        storage = StableStorage()
+        log = WriteAheadLog(storage)
+        log.append(BEGIN, txid="t1")
+        log.append(COMMIT, txid="t1")
+        storage.corrupt_tail()  # tear the COMMIT
+        # Reopen: the torn blob is dropped, new appends are reachable.
+        reopened = WriteAheadLog(storage)
+        assert reopened.truncated_on_open == 1
+        reopened.append(BEGIN, txid="t2")
+        reopened.append(COMMIT, txid="t2")
+        final = WriteAheadLog(storage)
+        kinds = [(r.kind, r.txid) for r in final.scan()]
+        assert kinds == [(BEGIN, "t1"), (BEGIN, "t2"), (COMMIT, "t2")]
+
+    def test_store_writes_after_corrupt_recovery_are_durable(self):
+        storage = StableStorage()
+        store = TransactionalStore(storage)
+        txid = store.begin()
+        store.put(txid, "early", 1)
+        store.commit(txid)
+        storage.corrupt_tail()
+        store.crash()
+        recovered = TransactionalStore(storage)
+        txid = recovered.begin()
+        recovered.put(txid, "late", 2)
+        recovered.commit(txid)
+        recovered.crash()
+        final = TransactionalStore(storage)
+        # 'early' lost its torn COMMIT; 'late' must not be lost too.
+        assert final.get("late") == 2
+
+    def test_no_truncation_on_clean_log(self):
+        storage = StableStorage()
+        log = WriteAheadLog(storage)
+        log.append(BEGIN, txid="t")
+        assert WriteAheadLog(storage).truncated_on_open == 0
+
+
+class TestCodecGatewayRouting:
+    def test_explicit_address_maps(self):
+        fabric = InMemoryFabric(latency_s=0.005)
+        binary = get_codec("binary")
+        sml = get_codec("sml")
+        gateway = CodecGateway(fabric.endpoint("gw", "a"),
+                               fabric.endpoint("gw", "b"),
+                               codec_a=binary, codec_b=sml)
+        gateway.map_a_to_b(Address("alice", "app"), Address("bob", "app"))
+        gateway.map_b_to_a(Address("bob", "app"), Address("alice", "app"))
+        alice = fabric.endpoint("alice", "app")
+        bob = fabric.endpoint("bob", "app")
+        seen = []
+        bob.set_receiver(lambda src, data: seen.append(sml.decode(data)))
+        alice.set_receiver(lambda src, data: seen.append(binary.decode(data)))
+        alice.send(Address("gw", "a"), binary.encode({"n": 1}))
+        fabric.run()
+        bob.send(Address("gw", "b"), sml.encode({"n": 2}))
+        fabric.run()
+        assert seen == [{"n": 1}, {"n": 2}]
+        assert gateway.dropped == 0
+
+
+class TestEnvelopeEdges:
+    def test_not_on_route_dropped(self, ideal_star):
+        network, fabric = ideal_star
+        agent = RoutingAgent(fabric, "hub", FloodingRouter())
+        envelope = Envelope(Address("x", "p"), Address("leaf0", "p"),
+                            ttl=5, seq=1, payload=b"",
+                            route=["a", "b", "leaf0"])  # hub not on route
+        agent._move(envelope)
+        assert agent.dropped.get("not-on-route") == 1
+
+    def test_route_exhausted_dropped(self, ideal_star):
+        network, fabric = ideal_star
+        agent = RoutingAgent(fabric, "hub", FloodingRouter())
+        envelope = Envelope(Address("x", "p"), Address("other", "p"),
+                            ttl=5, seq=2, payload=b"", route=["a", "hub"])
+        agent._move(envelope)
+        assert agent.dropped.get("route-exhausted") == 1
+
+
+class TestRankMatchTieBreak:
+    def test_equal_scores_order_by_key(self):
+        supplier = SupplierQoS(reliability=0.9)
+        ranked = rank_matches(
+            [("zeta", supplier, None), ("alpha", supplier, None)],
+            ConsumerQoS(),
+        )
+        assert [key for key, _score in ranked] == ["alpha", "zeta"]
+
+
+class TestSummaryPercentiles:
+    def test_p95_p99(self):
+        values = list(range(1, 101))  # 1..100
+        summary = Summary.of(values)
+        assert summary.p95 == 95
+        assert summary.p99 == 99
+        assert summary.p50 == 50
+
+
+class TestHandoffValidation:
+    def test_warn_fraction_bounds(self):
+        from repro.netsim import topology
+        from repro.transactions.manager import TransactionManager
+        from repro.transactions.rpc import RpcEndpoint
+        from repro.transport.simnet import SimFabric
+
+        network = topology.star(2)
+        fabric = SimFabric(network)
+        rpc = RpcEndpoint(fabric.endpoint("hub", "svc"))
+
+        class FakeDiscovery:
+            def lookup(self, query):
+                from repro.util.promise import Promise
+                promise = Promise()
+                promise.fulfill([])
+                return promise
+
+        manager = TransactionManager(rpc, FakeDiscovery())
+        with pytest.raises(ConfigurationError):
+            HandoffManager(network, manager, "hub", warn_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            HandoffManager(network, manager, "hub", warn_fraction=1.5)
+
+
+class TestRealTimeScheduler:
+    def test_timer_fires(self):
+        scheduler = RealTimeScheduler()
+        fired = threading.Event()
+        scheduler.schedule(0.01, fired.set)
+        assert fired.wait(timeout=2.0)
+
+    def test_now_monotonic(self):
+        scheduler = RealTimeScheduler()
+        assert scheduler.now() <= scheduler.now()

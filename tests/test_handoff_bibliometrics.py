@@ -1,0 +1,169 @@
+"""Tests for the handoff manager and the bibliometrics substrate."""
+
+import pytest
+
+from repro.bibliometrics.corpus import CALIBRATION, CorpusGenerator, YEARS
+from repro.bibliometrics.figure1 import MIDDLEWARE_TARGET_SERIES, reproduce_figure1
+from repro.bibliometrics.query import QueryEngine, pearson_correlation, tokenize
+from repro.discovery.description import ServiceDescription
+from repro.discovery.matching import Query
+from repro.discovery.registry import RegistryClient, RegistryServer
+from repro.netsim import topology
+from repro.netsim.medium import IDEAL_RADIO
+from repro.netsim.mobility import LinearMobility
+from repro.qos.spec import SupplierQoS
+from repro.scheduling.handoff import HandoffManager
+from repro.transactions.manager import TransactionManager
+from repro.transactions.rpc import RpcEndpoint
+from repro.transactions.transaction import TransactionKind, TransactionSpec
+from repro.transport.simnet import SimFabric
+from repro.util.geometry import Point
+
+
+class TestHandoff:
+    def build_mobile_scenario(self, with_handoff):
+        """Consumer at the hub; two suppliers, one driving out of range."""
+        network = topology.star(4, radius=30, radio_profile=IDEAL_RADIO)
+        fabric = SimFabric(network)
+        # leaf0 hosts the mobile supplier, drifting away at 5 m/s.
+        network.node("leaf0").set_mobility(
+            LinearMobility(Point(30, 0), velocity=(5.0, 0.0))
+        )
+        registry = RegistryServer(fabric.endpoint("hub", "registry"))
+        mobile_rpc = RpcEndpoint(fabric.endpoint("leaf0", "svc"))
+        mobile_rpc.expose("read", lambda **kw: "mobile")
+        static_rpc = RpcEndpoint(fabric.endpoint("leaf1", "svc"))
+        static_rpc.expose("read", lambda **kw: "static")
+        RegistryClient(fabric.endpoint("leaf0", "reg"),
+                       registry.transport.local_address).register(
+            ServiceDescription("mobile", "sensor", "leaf0:svc",
+                               qos=SupplierQoS(reliability=0.99)), lease_s=300)
+        RegistryClient(fabric.endpoint("leaf1", "reg"),
+                       registry.transport.local_address).register(
+            ServiceDescription("static", "sensor", "leaf1:svc",
+                               qos=SupplierQoS(reliability=0.9)), lease_s=300)
+        network.sim.run_until(1.0)
+        consumer_rpc = RpcEndpoint(fabric.endpoint("hub", "svc"))
+        discovery = RegistryClient(fabric.endpoint("hub", "disc"),
+                                   registry.transport.local_address)
+        manager = TransactionManager(consumer_rpc, discovery, call_timeout_s=0.5)
+        handoff = None
+        if with_handoff:
+            handoff = HandoffManager(network, manager, "hub",
+                                     warn_fraction=0.6, check_interval_s=0.5)
+        return network, manager, handoff
+
+    def test_proactive_handoff_before_range_loss(self):
+        network, manager, handoff = self.build_mobile_scenario(with_handoff=True)
+        readings = []
+        promise = manager.establish(
+            Query("sensor"),
+            TransactionSpec(TransactionKind.CONTINUOUS, interval_s=0.5),
+            on_data=lambda value, latency: readings.append(value),
+        )
+        network.sim.run_until(3.0)
+        txn = promise.result()
+        assert txn.supplier.service_id == "mobile"  # best reliability first
+        # Mobile node exits 0.6 * 100 m ... with IDEAL_RADIO range is 1e6;
+        # instead verify against the explicit threshold crossing below.
+        network.sim.run_until(60.0)
+        assert handoff.handoffs_initiated >= 0  # exercised below with real radio
+
+    def test_handoff_with_real_radio(self):
+        # 802.11 range 100 m: supplier crosses 80 m (warn) then 100 m (loss).
+        network = topology.star(3, radius=30, seed=1)
+        fabric = SimFabric(network)
+        network.node("leaf0").set_mobility(
+            LinearMobility(Point(30, 0), velocity=(4.0, 0.0))
+        )
+        registry = RegistryServer(fabric.endpoint("hub", "registry"))
+        mobile_rpc = RpcEndpoint(fabric.endpoint("leaf0", "svc"))
+        mobile_rpc.expose("read", lambda **kw: "mobile")
+        static_rpc = RpcEndpoint(fabric.endpoint("leaf1", "svc"))
+        static_rpc.expose("read", lambda **kw: "static")
+        RegistryClient(fabric.endpoint("leaf0", "reg"),
+                       registry.transport.local_address).register(
+            ServiceDescription("mobile", "sensor", "leaf0:svc",
+                               qos=SupplierQoS(reliability=0.99)), lease_s=300)
+        RegistryClient(fabric.endpoint("leaf1", "reg"),
+                       registry.transport.local_address).register(
+            ServiceDescription("static", "sensor", "leaf1:svc",
+                               qos=SupplierQoS(reliability=0.9)), lease_s=300)
+        network.sim.run_until(1.0)
+        consumer_rpc = RpcEndpoint(fabric.endpoint("hub", "svc"))
+        discovery = RegistryClient(fabric.endpoint("hub", "disc"),
+                                   registry.transport.local_address)
+        manager = TransactionManager(consumer_rpc, discovery, call_timeout_s=0.5)
+        handoff = HandoffManager(network, manager, "hub",
+                                 warn_fraction=0.8, check_interval_s=0.5)
+        readings = []
+        promise = manager.establish(
+            Query("sensor"),
+            TransactionSpec(TransactionKind.CONTINUOUS, interval_s=0.5),
+            on_data=lambda value, latency: readings.append(value),
+        )
+        network.sim.run_until(3.0)
+        txn = promise.result()
+        assert txn.supplier.service_id == "mobile"
+        # Supplier reaches 80 m at t = (80-30)/4 = 12.5 s; handoff fires there,
+        # well before radio loss at t = 17.5 s.
+        network.sim.run_until(16.0)
+        assert handoff.handoffs_initiated >= 1
+        assert txn.supplier.service_id == "static"
+        assert txn.state.value == "active"
+        before = len(readings)
+        network.sim.run_until(25.0)
+        assert len(readings) > before  # stream survived the departure
+        handoff.stop()
+
+
+class TestBibliometrics:
+    def test_corpus_deterministic_per_seed(self):
+        a = CorpusGenerator(seed=3).generate()
+        b = CorpusGenerator(seed=3).generate()
+        assert [(p.year, p.title) for p in a] == [(p.year, p.title) for p in b]
+
+    def test_zero_noise_matches_calibration_exactly(self):
+        corpus = CorpusGenerator(seed=0, noise=0.0).generate()
+        engine = QueryEngine(corpus)
+        counts = engine.counts_by_year("middleware")
+        for year in YEARS:
+            expected = CALIBRATION["middleware"].get(year, 0)
+            assert counts.get(year, 0) == expected
+
+    def test_tokenize(self):
+        assert tokenize("Wireless-Network (2001)!") == ["wireless", "network", "2001"]
+
+    def test_phrase_query_requires_adjacency(self):
+        corpus = CorpusGenerator(seed=0, noise=0.0).generate()
+        engine = QueryEngine(corpus)
+        # "wireless network" papers also match "network", not vice versa.
+        wireless = set(p.paper_id for p in engine.search("wireless network"))
+        network = set(p.paper_id for p in engine.search("network"))
+        assert wireless <= network
+        assert len(network) > len(wireless)
+
+    def test_pearson_correlation_bounds(self):
+        assert pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+        assert pearson_correlation([1, 2, 3], [6, 4, 2]) == pytest.approx(-1.0)
+        assert pearson_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_figure1_headline_claims(self):
+        result = reproduce_figure1(seed=0)
+        assert result.first_middleware_year == 1993
+        assert 5 <= result.middleware_1994 <= 9  # "7 in 1994" +/- noise
+        assert 150 <= result.plateau_mean <= 190  # "~170 articles/year"
+        assert result.correlation_with_network > 0.9
+        assert result.correlation_with_distributed > 0.9
+
+    def test_figure1_series_matches_target_shape(self):
+        result = reproduce_figure1(seed=0, noise=0.0)
+        measured = result.middleware_series()
+        target = [MIDDLEWARE_TARGET_SERIES.get(y, 0) for y in YEARS]
+        assert measured == target
+
+    def test_render_ascii(self):
+        result = reproduce_figure1(seed=0)
+        chart = result.render_ascii(width=20)
+        assert "1993" in chart and "2001" in chart
+        assert chart.count("\n") == len(YEARS)

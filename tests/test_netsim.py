@@ -1,0 +1,260 @@
+"""Tests for the network simulator: packets, nodes, medium, links, network."""
+
+import pytest
+
+from repro.errors import ConfigurationError, NodeDownError
+from repro.netsim.energy import Battery
+from repro.netsim.link import ETHERNET_10M, WiredLink
+from repro.netsim.medium import BLUETOOTH, IDEAL_RADIO, RadioProfile, WIFI_80211
+from repro.netsim.network import Network
+from repro.netsim.packet import BROADCAST, HEADER_BYTES, Packet
+from repro.netsim.simulator import Simulator
+from repro.util.geometry import Point
+
+
+def make_packet(src="a", dst="b", size=100):
+    return Packet(source=src, destination=dst, payload=b"x", payload_bytes=size)
+
+
+class TestPacket:
+    def test_size_includes_header(self):
+        packet = make_packet(size=100)
+        assert packet.size_bytes == 100 + HEADER_BYTES
+        assert packet.size_bits == (100 + HEADER_BYTES) * 8
+
+    def test_broadcast_detection(self):
+        assert make_packet(dst=BROADCAST).is_broadcast
+        assert not make_packet(dst="n1").is_broadcast
+
+    def test_packet_ids_unique(self):
+        assert make_packet().packet_id != make_packet().packet_id
+
+    def test_copy_for_forwarding_bumps_hops(self):
+        packet = make_packet()
+        packet.headers["k"] = "v"
+        clone = packet.copy_for_forwarding()
+        assert clone.hop_count == 1
+        clone.headers["k"] = "changed"
+        assert packet.headers["k"] == "v"  # headers not shared
+
+
+class TestRadioProfile:
+    def test_serialization_delay(self):
+        profile = RadioProfile("test", bandwidth_bps=1e6, range_m=10)
+        assert profile.serialization_delay(1e6) == pytest.approx(1.0)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RadioProfile("bad", bandwidth_bps=0, range_m=10)
+
+    def test_invalid_loss_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RadioProfile("bad", bandwidth_bps=1, range_m=10, loss_probability=1.0)
+
+    def test_stock_profiles(self):
+        assert BLUETOOTH.range_m < WIFI_80211.range_m
+        assert IDEAL_RADIO.loss_probability == 0.0
+
+
+class TestNetworkDelivery:
+    def test_unicast_in_range(self):
+        network = Network(radio_profile=IDEAL_RADIO)
+        network.add_node("a", position=Point(0, 0))
+        node_b = network.add_node("b", position=Point(10, 0))
+        got = []
+        node_b.set_packet_handler(lambda node, pkt: got.append(pkt.payload))
+        network.send("a", make_packet("a", "b"))
+        network.sim.run()
+        assert got == [b"x"]
+
+    def test_unicast_out_of_range_dropped(self):
+        network = Network()  # 802.11: 100 m range
+        network.add_node("a", position=Point(0, 0))
+        node_b = network.add_node("b", position=Point(500, 0))
+        got = []
+        node_b.set_packet_handler(lambda node, pkt: got.append(pkt))
+        network.send("a", make_packet("a", "b"))
+        network.sim.run()
+        assert got == []
+        assert network.medium.drops_out_of_range == 1
+
+    def test_broadcast_reaches_all_in_range(self):
+        network = Network(radio_profile=IDEAL_RADIO)
+        network.add_node("a", position=Point(0, 0))
+        received = []
+        for i, x in enumerate((10, 20, 30)):
+            node = network.add_node(f"n{i}", position=Point(x, 0))
+            node.set_packet_handler(lambda node, pkt: received.append(node.node_id))
+        network.send("a", make_packet("a", BROADCAST))
+        network.sim.run()
+        assert sorted(received) == ["n0", "n1", "n2"]
+
+    def test_dead_node_does_not_receive(self):
+        network = Network(radio_profile=IDEAL_RADIO)
+        network.add_node("a", position=Point(0, 0))
+        node_b = network.add_node("b", position=Point(10, 0))
+        got = []
+        node_b.set_packet_handler(lambda node, pkt: got.append(pkt))
+        node_b.crash()
+        network.send("a", make_packet("a", "b"))
+        network.sim.run()
+        assert got == []
+
+    def test_dead_sender_cannot_send(self):
+        network = Network(radio_profile=IDEAL_RADIO)
+        node_a = network.add_node("a", position=Point(0, 0))
+        network.add_node("b", position=Point(10, 0))
+        node_a.crash()
+        assert not network.send("a", make_packet("a", "b"))
+
+    def test_transmission_drains_sender_battery(self):
+        network = Network(radio_profile=IDEAL_RADIO)
+        node_a = network.add_node("a", position=Point(0, 0), battery=Battery(capacity=1.0))
+        network.add_node("b", position=Point(10, 0))
+        network.send("a", make_packet("a", "b"))
+        assert node_a.battery.remaining < 1.0
+
+    def test_reception_drains_receiver_battery(self):
+        network = Network(radio_profile=IDEAL_RADIO)
+        network.add_node("a", position=Point(0, 0))
+        node_b = network.add_node("b", position=Point(10, 0), battery=Battery(capacity=1.0))
+        network.send("a", make_packet("a", "b"))
+        network.sim.run()
+        assert node_b.battery.remaining < 1.0
+
+    def test_lossy_medium_drops_fraction(self):
+        profile = RadioProfile("lossy", bandwidth_bps=1e9, range_m=1000,
+                               loss_probability=0.5)
+        network = Network(radio_profile=profile, seed=11)
+        network.add_node("a", position=Point(0, 0))
+        node_b = network.add_node("b", position=Point(10, 0))
+        got = []
+        node_b.set_packet_handler(lambda node, pkt: got.append(1))
+        for _ in range(200):
+            network.send("a", make_packet("a", "b"))
+        network.sim.run()
+        assert 50 < len(got) < 150  # roughly half lost
+
+    def test_duplicate_node_id_rejected(self):
+        network = Network()
+        network.add_node("a")
+        with pytest.raises(ConfigurationError):
+            network.add_node("a")
+
+    def test_unknown_node_lookup_raises(self):
+        with pytest.raises(ConfigurationError):
+            Network().node("ghost")
+
+
+class TestNodeLifecycle:
+    def test_crash_and_recover_events(self):
+        network = Network()
+        node = network.add_node("a")
+        events = []
+        node.events.on("crashed", lambda n: events.append("crashed"))
+        node.events.on("recovered", lambda n: events.append("recovered"))
+        node.crash()
+        node.crash()  # idempotent
+        node.recover()
+        assert events == ["crashed", "recovered"]
+
+    def test_depleted_node_is_down(self):
+        network = Network(radio_profile=IDEAL_RADIO)
+        node = network.add_node("a", battery=Battery(capacity=1e-12))
+        network.add_node("b", position=Point(10, 0))
+        network.send("a", make_packet("a", "b", size=10000))
+        assert not node.alive
+
+    def test_ensure_alive_raises_when_down(self):
+        network = Network()
+        node = network.add_node("a")
+        node.crash()
+        with pytest.raises(NodeDownError):
+            node.ensure_alive()
+
+
+class TestWiredLink:
+    def test_delivers_both_directions(self):
+        sim = Simulator()
+        network = Network(sim=sim)
+        node_a = network.add_node("a")
+        node_b = network.add_node("b", position=Point(10000, 0))  # out of radio range
+        link = network.add_link("a", "b")
+        got = []
+        node_a.set_packet_handler(lambda node, pkt: got.append(("a", pkt.payload)))
+        node_b.set_packet_handler(lambda node, pkt: got.append(("b", pkt.payload)))
+        network.send("a", make_packet("a", "b"))
+        network.send("b", make_packet("b", "a"))
+        sim.run()
+        assert sorted(got) == [("a", b"x"), ("b", b"x")]
+
+    def test_cut_link_drops_traffic(self):
+        network = Network()
+        network.add_node("a")
+        node_b = network.add_node("b", position=Point(10000, 0))
+        link = network.add_link("a", "b")
+        got = []
+        node_b.set_packet_handler(lambda node, pkt: got.append(pkt))
+        link.set_up(False)
+        network.send("a", make_packet("a", "b"))
+        network.sim.run()
+        assert got == []
+
+    def test_self_link_rejected(self):
+        network = Network()
+        node = network.add_node("a")
+        with pytest.raises(ConfigurationError):
+            WiredLink(network.sim, node, node)
+
+    def test_other_end(self):
+        network = Network()
+        node_a = network.add_node("a")
+        node_b = network.add_node("b")
+        link = network.add_link("a", "b")
+        assert link.other_end("a") is node_b
+        assert link.other_end("b") is node_a
+        with pytest.raises(ConfigurationError):
+            link.other_end("c")
+
+
+class TestTopologyQueries:
+    def test_neighbors_by_range(self):
+        network = Network()  # 100 m
+        network.add_node("a", position=Point(0, 0))
+        network.add_node("near", position=Point(50, 0))
+        network.add_node("far", position=Point(500, 0))
+        assert [n.node_id for n in network.neighbors("a")] == ["near"]
+
+    def test_wired_peer_counts_as_neighbor(self):
+        network = Network()
+        network.add_node("a", position=Point(0, 0))
+        network.add_node("far", position=Point(5000, 0))
+        network.add_link("a", "far")
+        assert "far" in {n.node_id for n in network.neighbors("a")}
+
+    def test_reachability_multi_hop(self):
+        network = Network()
+        for i in range(4):
+            network.add_node(f"n{i}", position=Point(i * 60.0, 0))
+        assert network.reachable_from("n0") == {"n0", "n1", "n2", "n3"}
+
+    def test_is_connected_detects_partition(self):
+        network = Network()
+        network.add_node("a", position=Point(0, 0))
+        network.add_node("b", position=Point(50, 0))
+        network.add_node("island", position=Point(10000, 0))
+        assert not network.is_connected()
+        assert network.is_connected(["a", "b"])
+
+    def test_crashed_nodes_break_connectivity(self):
+        network = Network()
+        for i in range(3):
+            network.add_node(f"n{i}", position=Point(i * 60.0, 0))
+        network.node("n1").crash()
+        assert "n2" not in network.reachable_from("n0")
+
+    def test_total_energy_ignores_mains(self):
+        network = Network()
+        network.add_node("battery", battery=Battery(capacity=2.0))
+        network.add_node("mains")
+        assert network.total_energy_remaining() == 2.0

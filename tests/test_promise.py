@@ -1,0 +1,97 @@
+"""Tests for repro.util.promise."""
+
+import pytest
+
+from repro.util.promise import Promise, PromisePending, gather
+
+
+class TestPromise:
+    def test_starts_pending(self):
+        p = Promise()
+        assert p.pending and not p.fulfilled and not p.rejected
+
+    def test_result_while_pending_raises(self):
+        with pytest.raises(PromisePending):
+            Promise().result()
+
+    def test_fulfill(self):
+        p = Promise()
+        p.fulfill(42)
+        assert p.fulfilled and p.result() == 42
+
+    def test_reject(self):
+        p = Promise()
+        p.reject(ValueError("bad"))
+        assert p.rejected
+        with pytest.raises(ValueError):
+            p.result()
+
+    def test_first_settle_wins(self):
+        p = Promise()
+        p.fulfill(1)
+        p.fulfill(2)
+        p.reject(ValueError("late"))
+        assert p.result() == 1
+
+    def test_callback_after_settle_fires_immediately(self):
+        p = Promise()
+        p.fulfill("x")
+        seen = []
+        p.on_settle(lambda settled: seen.append(settled.result()))
+        assert seen == ["x"]
+
+    def test_callback_before_settle_fires_on_settle(self):
+        p = Promise()
+        seen = []
+        p.on_settle(lambda settled: seen.append(settled.result()))
+        assert seen == []
+        p.fulfill(5)
+        assert seen == [5]
+
+    def test_on_value_skips_errors(self):
+        p = Promise()
+        seen = []
+        p.on_value(seen.append)
+        p.reject(RuntimeError("no"))
+        assert seen == []
+
+    def test_on_error_skips_values(self):
+        p = Promise()
+        errors = []
+        p.on_error(errors.append)
+        p.fulfill(1)
+        assert errors == []
+
+    def test_on_error_receives_error(self):
+        p = Promise()
+        errors = []
+        p.on_error(errors.append)
+        failure = RuntimeError("x")
+        p.reject(failure)
+        assert errors == [failure]
+
+
+class TestGather:
+    def test_empty_gather_fulfills_immediately(self):
+        assert gather([]).result() == []
+
+    def test_gather_preserves_order(self):
+        a, b = Promise(), Promise()
+        combined = gather([a, b])
+        b.fulfill("second")
+        a.fulfill("first")
+        assert combined.result() == ["first", "second"]
+
+    def test_gather_rejects_on_first_error(self):
+        a, b = Promise(), Promise()
+        combined = gather([a, b])
+        a.reject(ValueError("nope"))
+        assert combined.rejected
+
+    def test_gather_pending_until_all_settle(self):
+        a, b = Promise(), Promise()
+        combined = gather([a, b])
+        a.fulfill(1)
+        assert combined.pending
+        b.fulfill(2)
+        assert combined.fulfilled

@@ -1,0 +1,300 @@
+"""Tests for the QoS subsystem: benefit, spatial, matching, contracts."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.qos.benefit import (
+    ConstantBenefit,
+    ExponentialDecayBenefit,
+    LinearDecayBenefit,
+    StepBenefit,
+    expected_benefit,
+)
+from repro.qos.contract import ContractTerms, QoSContract
+from repro.qos.monitor import DegradationManager, QoSMonitor
+from repro.qos.spatial import SpatialPreference, spatial_score
+from repro.qos.spec import ConsumerQoS, NetworkQoS, SupplierQoS, rank_matches, score_match
+
+
+class TestBenefit:
+    def test_constant(self):
+        assert ConstantBenefit().value(1000.0) == 1.0
+
+    def test_step_edges(self):
+        step = StepBenefit(deadline_s=1.0)
+        assert step.value(1.0) == 1.0
+        assert step.value(1.0001) == 0.0
+
+    def test_linear_decay_shape(self):
+        fn = LinearDecayBenefit(full_until_s=1.0, zero_at_s=3.0)
+        assert fn.value(0.5) == 1.0
+        assert fn.value(2.0) == pytest.approx(0.5)
+        assert fn.value(3.0) == 0.0
+
+    def test_linear_decay_requires_order(self):
+        with pytest.raises(ConfigurationError):
+            LinearDecayBenefit(full_until_s=2.0, zero_at_s=1.0)
+
+    def test_exponential_half_life(self):
+        fn = ExponentialDecayBenefit(half_life_s=2.0)
+        assert fn.value(2.0) == pytest.approx(0.5)
+        assert fn.value(4.0) == pytest.approx(0.25)
+        assert fn.value(0.0) == 1.0
+
+    def test_expected_benefit_clamps(self):
+        assert expected_benefit(ConstantBenefit(), -5.0) == 1.0
+
+
+class TestSpatial:
+    def test_score_decreases_with_distance(self):
+        assert spatial_score(10, 50) > spatial_score(100, 50)
+
+    def test_score_at_zero_distance(self):
+        assert spatial_score(0, 50) == 1.0
+
+    def test_preference_cutoff(self):
+        pref = SpatialPreference(max_distance_m=100)
+        assert pref.feasible(99)
+        assert not pref.feasible(101)
+
+    def test_no_cutoff_by_default(self):
+        assert SpatialPreference().feasible(1e9)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spatial_score(10, 0)
+
+
+class TestScoreMatch:
+    def test_perfect_supplier_scores_high(self):
+        match = score_match(SupplierQoS(), ConsumerQoS())
+        assert match is not None and match.total > 0.9
+
+    def test_reliability_floor_enforced(self):
+        assert score_match(
+            SupplierQoS(reliability=0.5), ConsumerQoS(min_reliability=0.9)
+        ) is None
+
+    def test_availability_floor_enforced(self):
+        assert score_match(
+            SupplierQoS(availability=0.5), ConsumerQoS(min_availability=0.9)
+        ) is None
+
+    def test_latency_ceiling_enforced(self):
+        assert score_match(
+            SupplierQoS(expected_latency_s=1.0), ConsumerQoS(max_latency_s=0.5)
+        ) is None
+
+    def test_traffic_inflates_latency(self):
+        supplier = SupplierQoS(expected_latency_s=0.4)
+        consumer = ConsumerQoS(max_latency_s=0.5)
+        assert score_match(supplier, consumer) is not None
+        busy = NetworkQoS(traffic_load=0.5)  # 0.4 * 1.5 = 0.6 > 0.5
+        assert score_match(supplier, consumer, busy) is None
+
+    def test_encryption_requirement(self):
+        assert score_match(
+            SupplierQoS(encrypted=False), ConsumerQoS(require_encryption=True)
+        ) is None
+        assert score_match(
+            SupplierQoS(encrypted=True), ConsumerQoS(require_encryption=True)
+        ) is not None
+
+    def test_password_requirement(self):
+        protected = SupplierQoS(requires_password=True)
+        assert score_match(protected, ConsumerQoS()) is None
+        assert score_match(protected, ConsumerQoS(password="secret")) is not None
+
+    def test_bandwidth_constraint(self):
+        heavy = SupplierQoS(bandwidth_bps=2e6)
+        narrow = NetworkQoS(available_bandwidth_bps=1e6)
+        assert score_match(heavy, ConsumerQoS(), narrow) is None
+
+    def test_spatial_cutoff(self):
+        consumer = ConsumerQoS(spatial=SpatialPreference(max_distance_m=50))
+        assert score_match(SupplierQoS(), consumer, distance_m=60) is None
+        assert score_match(SupplierQoS(), consumer, distance_m=40) is not None
+
+    def test_closer_supplier_scores_higher(self):
+        consumer = ConsumerQoS(spatial=SpatialPreference(scale_m=30))
+        near = score_match(SupplierQoS(), consumer, distance_m=5)
+        far = score_match(SupplierQoS(), consumer, distance_m=80)
+        assert near.total > far.total
+
+    def test_power_preference_favors_mains(self):
+        consumer = ConsumerQoS(prefer_mains_power=True)
+        mains = score_match(SupplierQoS(battery_powered=False), consumer)
+        battery = score_match(
+            SupplierQoS(battery_powered=True, battery_fraction=0.2), consumer
+        )
+        assert mains.total > battery.total
+
+    def test_rank_matches_orders_and_filters(self):
+        consumer = ConsumerQoS(min_reliability=0.8)
+        ranked = rank_matches(
+            [
+                ("weak", SupplierQoS(reliability=0.5), None),
+                ("good", SupplierQoS(reliability=0.99), None),
+                ("ok", SupplierQoS(reliability=0.85), None),
+            ],
+            consumer,
+        )
+        assert [key for key, _score in ranked] == ["good", "ok"]
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SupplierQoS(reliability=1.5)
+        with pytest.raises(ConfigurationError):
+            ConsumerQoS(min_reliability=-0.1)
+        with pytest.raises(ConfigurationError):
+            NetworkQoS(traffic_load=2.0)
+
+
+class TestContract:
+    def test_no_judgment_before_min_observations(self):
+        contract = QoSContract("c", "consumer", "supplier",
+                               ContractTerms(min_observations=5))
+        for _ in range(4):
+            contract.observe_failure()
+        assert not contract.violated
+
+    def test_violation_fires_once(self):
+        contract = QoSContract("c", "x", "y",
+                               ContractTerms(min_success_rate=0.9, min_observations=5))
+        events = []
+        contract.events.on("violated", lambda c: events.append("violated"))
+        for _ in range(10):
+            contract.observe_failure()
+        assert contract.violated
+        assert events == ["violated"]
+
+    def test_repair_event(self):
+        terms = ContractTerms(min_success_rate=0.5, window=10, min_observations=5)
+        contract = QoSContract("c", "x", "y", terms)
+        events = []
+        contract.events.on("repaired", lambda c: events.append("repaired"))
+        for _ in range(10):
+            contract.observe_failure()
+        for _ in range(10):
+            contract.observe(0.01, success=True)
+        assert not contract.violated
+        assert events == ["repaired"]
+
+    def test_latency_term_enforced(self):
+        terms = ContractTerms(max_mean_latency_s=0.1, min_observations=3)
+        contract = QoSContract("c", "x", "y", terms)
+        for _ in range(5):
+            contract.observe(0.5, success=True)
+        assert contract.violated
+
+    def test_reset_window_clears_state(self):
+        contract = QoSContract("c", "x", "y", ContractTerms(min_observations=3))
+        for _ in range(5):
+            contract.observe_failure()
+        assert contract.violated
+        contract.reset_window()
+        assert not contract.violated
+        assert contract.success_rate() is None
+
+    def test_invalid_terms_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ContractTerms(min_success_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            ContractTerms(window=0)
+        with pytest.raises(ConfigurationError):
+            ContractTerms(min_observations=50, window=10)
+
+
+class TestDegradation:
+    def make_manager(self, suppliers, consumer=None):
+        consumer = consumer or ConsumerQoS(min_reliability=0.9)
+        return DegradationManager(
+            consumer, lambda: [(k, q, d) for k, (q, d) in suppliers.items()]
+        )
+
+    def test_binds_to_best(self):
+        suppliers = {
+            "good": (SupplierQoS(reliability=0.99), None),
+            "ok": (SupplierQoS(reliability=0.92), None),
+        }
+        manager = self.make_manager(suppliers)
+        assert manager.bind() == "good"
+        assert manager.level == 0
+
+    def test_degrades_when_nothing_feasible(self):
+        suppliers = {"weak": (SupplierQoS(reliability=0.7), None)}
+        manager = self.make_manager(suppliers)
+        degraded = []
+        manager.events.on("degraded", degraded.append)
+        assert manager.bind() == "weak"
+        assert manager.level >= 1
+        assert degraded
+
+    def test_unsatisfiable_when_no_suppliers(self):
+        manager = self.make_manager({})
+        outcomes = []
+        manager.events.on("unsatisfiable", lambda: outcomes.append("gone"))
+        assert manager.bind() is None
+        assert outcomes == ["gone"]
+        assert manager.delivered_quality() == 0.0
+
+    def test_supplier_loss_triggers_rebind(self):
+        suppliers = {
+            "a": (SupplierQoS(reliability=0.99), None),
+            "b": (SupplierQoS(reliability=0.95), None),
+        }
+        manager = self.make_manager(suppliers)
+        manager.bind()
+        del suppliers["a"]
+        manager.supplier_lost("a")
+        assert manager.current_supplier == "b"
+        assert manager.rebinds == 2
+
+    def test_contract_violation_triggers_rebind(self):
+        suppliers = {
+            "a": (SupplierQoS(reliability=0.99), None),
+            "b": (SupplierQoS(reliability=0.95), None),
+        }
+        manager = self.make_manager(suppliers)
+        manager.bind()
+        del suppliers["a"]
+        for _ in range(20):
+            manager.observe(0.01, success=False)
+        assert manager.current_supplier == "b"
+
+    def test_try_recover_restores_level(self):
+        suppliers = {"weak": (SupplierQoS(reliability=0.7), None)}
+        manager = self.make_manager(suppliers)
+        manager.bind()
+        assert manager.level > 0
+        suppliers["strong"] = (SupplierQoS(reliability=0.99), None)
+        manager.try_recover()
+        assert manager.level == 0
+        assert manager.current_supplier == "strong"
+
+
+class TestQoSMonitor:
+    def test_aggregates_violations(self):
+        monitor = QoSMonitor()
+        contract = QoSContract("c1", "x", "y", ContractTerms(min_observations=3))
+        monitor.register(contract)
+        violations = []
+        monitor.events.on("violated", lambda c: violations.append(c.contract_id))
+        for _ in range(5):
+            contract.observe_failure()
+        assert violations == ["c1"]
+        assert monitor.violated_contracts() == [contract]
+
+    def test_system_success_rate(self):
+        monitor = QoSMonitor()
+        good = QoSContract("g", "x", "y", ContractTerms(min_observations=2))
+        bad = QoSContract("b", "x", "z", ContractTerms(min_observations=2))
+        monitor.register(good)
+        monitor.register(bad)
+        for _ in range(4):
+            good.observe(0.01, success=True)
+            bad.observe_failure()
+        assert monitor.system_success_rate() == pytest.approx(0.5)
+
+    def test_rate_none_without_observations(self):
+        assert QoSMonitor().system_success_rate() is None

@@ -1,0 +1,327 @@
+"""Tests for recovery: WAL, checkpoints, transactional store, detectors,
+replication."""
+
+import pytest
+
+from repro.errors import RecoveryError, TransactionAborted
+from repro.recovery.checkpoint import CheckpointManager
+from repro.recovery.heartbeat import HeartbeatDetector
+from repro.recovery.replication import (
+    BackupReplica,
+    PrimaryReplica,
+    ReplicationClient,
+)
+from repro.recovery.store import TransactionalStore
+from repro.recovery.wal import (
+    BEGIN,
+    COMMIT,
+    LogRecord,
+    StableStorage,
+    UPDATE,
+    WriteAheadLog,
+    committed_transactions,
+)
+from repro.transport.base import Address
+from repro.transport.inmemory import InMemoryFabric
+
+
+class TestWal:
+    def test_append_assigns_increasing_lsns(self):
+        log = WriteAheadLog()
+        records = [log.append(BEGIN, txid=f"t{i}") for i in range(3)]
+        assert [r.lsn for r in records] == [1, 2, 3]
+
+    def test_record_encode_round_trip(self):
+        record = LogRecord(5, UPDATE, txid="t1", key="k",
+                           before={"old": 1}, after=[1, 2])
+        again = LogRecord.decode(record.encode())
+        assert again == record
+
+    def test_corrupt_record_detected(self):
+        record = LogRecord(1, BEGIN, txid="t")
+        blob = bytearray(record.encode())
+        blob[-1] ^= 0xFF
+        from repro.errors import LogCorruptionError
+
+        with pytest.raises(LogCorruptionError):
+            LogRecord.decode(bytes(blob))
+
+    def test_scan_stops_at_torn_tail(self):
+        storage = StableStorage()
+        log = WriteAheadLog(storage)
+        log.append(BEGIN, txid="t1")
+        log.append(COMMIT, txid="t1")
+        log.append(BEGIN, txid="t2")
+        storage.corrupt_tail()
+        kinds = [r.kind for r in log.scan()]
+        assert kinds == [BEGIN, COMMIT]
+
+    def test_reopened_log_continues_lsns(self):
+        storage = StableStorage()
+        log = WriteAheadLog(storage)
+        log.append(BEGIN, txid="t1")
+        reopened = WriteAheadLog(storage)
+        assert reopened.append(COMMIT, txid="t1").lsn == 2
+
+    def test_committed_transactions_analysis(self):
+        records = [
+            LogRecord(1, BEGIN, txid="a"),
+            LogRecord(2, BEGIN, txid="b"),
+            LogRecord(3, COMMIT, txid="a"),
+            LogRecord(4, "ABORT", txid="b"),
+        ]
+        outcomes = committed_transactions(records)
+        assert outcomes == {"a": True, "b": False}
+
+
+class TestCheckpointManager:
+    def test_interval_counting(self):
+        manager = CheckpointManager(WriteAheadLog(), interval_ops=3)
+        assert not manager.note_operation()
+        assert not manager.note_operation()
+        assert manager.note_operation()
+
+    def test_take_resets_counter(self):
+        manager = CheckpointManager(WriteAheadLog(), interval_ops=2)
+        manager.note_operation()
+        manager.note_operation()
+        manager.take({"k": 1}, [])
+        assert not manager.note_operation()
+
+    def test_latest_returns_most_recent(self):
+        log = WriteAheadLog()
+        manager = CheckpointManager(log, interval_ops=1)
+        manager.take({"v": 1}, [])
+        manager.take({"v": 2}, [])
+        assert manager.latest().state == {"v": 2}
+
+    def test_latest_none_without_checkpoints(self):
+        assert CheckpointManager(WriteAheadLog()).latest() is None
+
+
+class TestTransactionalStore:
+    def test_committed_data_survives_crash(self):
+        storage = StableStorage()
+        store = TransactionalStore(storage)
+        txid = store.begin()
+        store.put(txid, "a", 1)
+        store.commit(txid)
+        store.crash()
+        recovered = TransactionalStore(storage)
+        assert recovered.get("a") == 1
+
+    def test_uncommitted_data_discarded_on_crash(self):
+        storage = StableStorage()
+        store = TransactionalStore(storage)
+        txid = store.begin()
+        store.put(txid, "a", 1)
+        store.crash()
+        recovered = TransactionalStore(storage)
+        assert recovered.get("a") is None
+
+    def test_aborted_transaction_invisible(self):
+        store = TransactionalStore()
+        txid = store.begin()
+        store.put(txid, "a", 1)
+        store.abort(txid)
+        assert store.get("a") is None
+        with pytest.raises(TransactionAborted):
+            store.put(txid, "b", 2)
+
+    def test_isolation_until_commit(self):
+        store = TransactionalStore()
+        txid = store.begin()
+        store.put(txid, "a", 1)
+        assert store.get("a") is None       # other readers
+        assert store.get("a", txid) == 1    # read-your-writes
+        store.commit(txid)
+        assert store.get("a") == 1
+
+    def test_delete_round_trip(self):
+        storage = StableStorage()
+        store = TransactionalStore(storage)
+        t1 = store.begin()
+        store.put(t1, "a", 1)
+        store.commit(t1)
+        t2 = store.begin()
+        store.delete(t2, "a")
+        store.commit(t2)
+        store.crash()
+        recovered = TransactionalStore(storage)
+        assert recovered.get("a") is None
+
+    def test_live_transaction_spanning_checkpoint_recovers(self):
+        storage = StableStorage()
+        store = TransactionalStore(storage, checkpoint_interval_ops=3)
+        long_tx = store.begin()
+        store.put(long_tx, "spanning", "value")
+        # Other traffic forces checkpoints while long_tx is live.
+        for i in range(10):
+            t = store.begin()
+            store.put(t, f"x{i}", i)
+            store.commit(t)
+        store.commit(long_tx)
+        store.crash()
+        recovered = TransactionalStore(storage, checkpoint_interval_ops=3)
+        assert recovered.get("spanning") == "value"
+        assert recovered.get("x9") == 9
+
+    def test_checkpoint_bounds_recovery_scan(self):
+        no_checkpoint = StableStorage()
+        frequent = StableStorage()
+        for storage, interval in ((no_checkpoint, 10**9), (frequent, 10)):
+            store = TransactionalStore(storage, checkpoint_interval_ops=interval)
+            for i in range(100):
+                t = store.begin()
+                store.put(t, f"k{i}", i)
+                store.commit(t)
+            store.crash()
+        slow = TransactionalStore(no_checkpoint, checkpoint_interval_ops=10**9)
+        fast = TransactionalStore(frequent, checkpoint_interval_ops=10)
+        assert fast.last_recovery_records_scanned < slow.last_recovery_records_scanned
+        assert fast.snapshot() == slow.snapshot()
+
+    def test_operations_rejected_while_crashed(self):
+        store = TransactionalStore()
+        store.crash()
+        with pytest.raises(RecoveryError):
+            store.begin()
+        store.recover()
+        store.begin()
+
+    def test_corrupted_tail_preserves_earlier_commits(self):
+        storage = StableStorage()
+        store = TransactionalStore(storage)
+        t1 = store.begin()
+        store.put(t1, "safe", 1)
+        store.commit(t1)
+        t2 = store.begin()
+        store.put(t2, "risky", 2)
+        store.commit(t2)
+        storage.corrupt_tail()  # tears the final COMMIT
+        recovered = TransactionalStore(storage)
+        assert recovered.get("safe") == 1
+        assert recovered.get("risky") is None  # commit record lost
+
+    def test_double_crash_recover_cycles(self):
+        storage = StableStorage()
+        store = TransactionalStore(storage)
+        for round_number in range(3):
+            t = store.begin()
+            store.put(t, f"r{round_number}", round_number)
+            store.commit(t)
+            store.crash()
+            store.recover()
+        assert store.snapshot() == {"r0": 0, "r1": 1, "r2": 2}
+
+
+class TestHeartbeat:
+    def test_suspects_silent_peer(self):
+        fabric = InMemoryFabric(latency_s=0.01)
+        speaker = HeartbeatDetector(fabric.endpoint("a", "hb"), interval_s=0.5)
+        watcher = HeartbeatDetector(fabric.endpoint("b", "hb"), interval_s=0.5)
+        speaker.send_to(Address("b", "hb"))
+        watcher.watch("a")
+        fabric.sim.run_until(5.0)
+        assert not watcher.suspected("a")
+        speaker.stop()
+        fabric.sim.run_until(12.0)
+        assert watcher.suspected("a")
+
+    def test_alive_event_on_recovery(self):
+        fabric = InMemoryFabric(latency_s=0.01)
+        watcher = HeartbeatDetector(fabric.endpoint("w", "hb"), interval_s=0.5)
+        watcher.watch("peer")
+        transitions = []
+        watcher.events.on("suspect", lambda n: transitions.append("suspect"))
+        watcher.events.on("alive", lambda n: transitions.append("alive"))
+        fabric.sim.run_until(5.0)  # silence -> suspect
+        # Peer comes to life.
+        peer = HeartbeatDetector(fabric.endpoint("peer", "hb"), interval_s=0.5)
+        peer.send_to(Address("w", "hb"))
+        fabric.sim.run_until(10.0)
+        assert transitions == ["suspect", "alive"]
+
+    def test_stale_heartbeats_ignored(self):
+        fabric = InMemoryFabric()
+        watcher = HeartbeatDetector(fabric.endpoint("w", "hb"), interval_s=1.0)
+        watcher.watch("x")
+        frame_new = watcher.codec.encode({"op": "hb", "from": "x", "seq": 5})
+        frame_old = watcher.codec.encode({"op": "hb", "from": "x", "seq": 3})
+        watcher._on_message(Address("x", "hb"), frame_new)
+        heard = watcher._watched["x"].last_seq
+        watcher._on_message(Address("x", "hb"), frame_old)
+        assert watcher._watched["x"].last_seq == heard
+
+    def test_alive_peers_listing(self):
+        fabric = InMemoryFabric()
+        watcher = HeartbeatDetector(fabric.endpoint("w", "hb"), interval_s=1.0)
+        watcher.watch("a")
+        watcher.watch("b")
+        assert watcher.alive_peers() == {"a", "b"}
+
+
+class TestReplication:
+    def setup_group(self):
+        fabric = InMemoryFabric(latency_s=0.005)
+        backup = BackupReplica(fabric.endpoint("backup", "repl"))
+        primary = PrimaryReplica(fabric.endpoint("primary", "repl"),
+                                 [backup.transport.local_address])
+        client = ReplicationClient(
+            fabric.endpoint("client", "repl"),
+            [primary.transport.local_address, backup.transport.local_address],
+            request_timeout_s=0.5,
+        )
+        return fabric, primary, backup, client
+
+    def test_write_replicates_to_backup(self):
+        fabric, primary, backup, client = self.setup_group()
+        promise = client.write("k", 42)
+        fabric.run()
+        assert promise.fulfilled
+        assert backup.data["k"] == 42
+
+    def test_read_from_primary(self):
+        fabric, primary, backup, client = self.setup_group()
+        client.write("k", "v")
+        fabric.run()
+        read = client.read("k")
+        fabric.run()
+        assert read.result() == "v"
+
+    def test_failover_to_backup(self):
+        fabric, primary, backup, client = self.setup_group()
+        client.write("k", 1)
+        fabric.run()
+        primary.transport.close()
+        write = client.write("k2", 2)
+        fabric.sim.run_until(fabric.sim.now() + 5.0)
+        assert write.fulfilled
+        assert write.result()["role"] == "promoted"
+        read = client.read("k")  # old data survived on the backup
+        fabric.sim.run_until(fabric.sim.now() + 5.0)
+        assert read.result() == 1
+        assert client.failovers >= 1
+
+    def test_all_replicas_down_rejects(self):
+        fabric = InMemoryFabric(latency_s=0.005)
+        client = ReplicationClient(
+            fabric.endpoint("client", "repl"),
+            [Address("ghost1", "repl"), Address("ghost2", "repl")],
+            request_timeout_s=0.2,
+        )
+        write = client.write("k", 1)
+        fabric.run()
+        assert write.rejected
+
+    def test_out_of_order_replication_applied_in_order(self):
+        fabric = InMemoryFabric()
+        backup = BackupReplica(fabric.endpoint("b", "repl"))
+        encode = backup.codec.encode
+        backup._on_message(Address("p", "repl"),
+                           encode({"op": "repl", "seq": 2, "key": "k", "value": "v2"}))
+        assert backup.applied_seq == 0  # buffered, waiting for seq 1
+        backup._on_message(Address("p", "repl"),
+                           encode({"op": "repl", "seq": 1, "key": "k", "value": "v1"}))
+        assert backup.applied_seq == 2
+        assert backup.data["k"] == "v2"

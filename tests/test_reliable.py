@@ -1,0 +1,158 @@
+"""Tests for the reliable-delivery and multiplexing layers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.transport.base import Address
+from repro.transport.inmemory import InMemoryFabric
+from repro.transport.multiplex import Multiplexer
+from repro.transport.reliable import (
+    RELIABLE_HEADER_BYTES,
+    ReliabilityParams,
+    ReliableTransport,
+)
+from repro.transport.stack import StackSpec, build_stack
+
+
+def reliable_pair(loss=0.0, seed=0, params=None):
+    fabric = InMemoryFabric(latency_s=0.01, loss_probability=loss, seed=seed)
+    params = params or ReliabilityParams(ack_timeout_s=0.1, max_retries=8)
+    a = ReliableTransport(fabric.endpoint("a"), params)
+    b = ReliableTransport(fabric.endpoint("b"), params)
+    return fabric, a, b
+
+
+class TestReliabilityParams:
+    def test_backoff_grows(self):
+        params = ReliabilityParams(ack_timeout_s=0.1, backoff_factor=2.0)
+        assert params.timeout_for_attempt(0) == pytest.approx(0.1)
+        assert params.timeout_for_attempt(2) == pytest.approx(0.4)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReliabilityParams(ack_timeout_s=0)
+        with pytest.raises(ConfigurationError):
+            ReliabilityParams(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            ReliabilityParams(backoff_factor=0.5)
+
+
+class TestReliableTransport:
+    def test_lossless_delivery(self):
+        fabric, a, b = reliable_pair()
+        got = []
+        b.set_receiver(lambda src, data: got.append(data))
+        a.send(b.local_address, b"m1")
+        fabric.run()
+        assert got == [b"m1"]
+        assert a.retransmissions == 0
+
+    def test_all_messages_arrive_despite_loss(self):
+        fabric, a, b = reliable_pair(loss=0.3, seed=42)
+        got = []
+        b.set_receiver(lambda src, data: got.append(data))
+        for i in range(60):
+            a.send(b.local_address, f"m{i}".encode())
+        fabric.run()
+        assert sorted(got) == sorted(f"m{i}".encode() for i in range(60))
+
+    def test_duplicates_suppressed(self):
+        fabric, a, b = reliable_pair(loss=0.4, seed=7)
+        got = []
+        b.set_receiver(lambda src, data: got.append(data))
+        for i in range(40):
+            a.send(b.local_address, f"m{i}".encode())
+        fabric.run()
+        assert len(got) == 40  # exactly once despite retransmissions
+        assert a.retransmissions > 0
+
+    def test_give_up_after_max_retries(self):
+        fabric = InMemoryFabric(latency_s=0.01, loss_probability=0.999, seed=1)
+        failures = []
+        a = ReliableTransport(
+            fabric.endpoint("a"),
+            ReliabilityParams(ack_timeout_s=0.05, max_retries=2),
+            on_give_up=lambda dest, payload: failures.append(payload),
+        )
+        ReliableTransport(fabric.endpoint("b"),
+                          ReliabilityParams(ack_timeout_s=0.05, max_retries=2))
+        a.send(Address("b"), b"doomed")
+        fabric.run()
+        assert failures == [b"doomed"]
+        assert a.give_ups == 1
+
+    def test_header_overhead_accounted(self):
+        fabric, a, b = reliable_pair()
+        b.set_receiver(lambda src, data: None)
+        a.send(b.local_address, b"12345")
+        fabric.run()
+        assert a.inner.sent_bytes == 5 + RELIABLE_HEADER_BYTES
+
+    def test_acks_sent_even_for_duplicates(self):
+        fabric, a, b = reliable_pair(loss=0.5, seed=13)
+        b.set_receiver(lambda src, data: None)
+        for i in range(20):
+            a.send(b.local_address, f"m{i}".encode())
+        fabric.run()
+        assert b.acks_sent >= 20
+
+
+class TestMultiplexer:
+    def test_channels_are_isolated(self):
+        fabric = InMemoryFabric()
+        mux_a = Multiplexer(fabric.endpoint("a"))
+        mux_b = Multiplexer(fabric.endpoint("b"))
+        got = []
+        mux_b.channel("one").set_receiver(lambda src, data: got.append(("one", data)))
+        mux_b.channel("two").set_receiver(lambda src, data: got.append(("two", data)))
+        mux_a.channel("one").send(Address("b"), b"first")
+        mux_a.channel("two").send(Address("b"), b"second")
+        fabric.run()
+        assert sorted(got) == [("one", b"first"), ("two", b"second")]
+
+    def test_channel_is_memoized(self):
+        fabric = InMemoryFabric()
+        mux = Multiplexer(fabric.endpoint("a"))
+        assert mux.channel("x") is mux.channel("x")
+
+    def test_unbound_channel_dropped(self):
+        fabric = InMemoryFabric()
+        mux_a = Multiplexer(fabric.endpoint("a"))
+        Multiplexer(fabric.endpoint("b"))
+        mux_a.channel("nobody").send(Address("b"), b"x")
+        fabric.run()  # must not raise
+
+    def test_empty_channel_name_rejected(self):
+        fabric = InMemoryFabric()
+        mux = Multiplexer(fabric.endpoint("a"))
+        with pytest.raises(ConfigurationError):
+            mux.channel("")
+
+
+class TestStack:
+    def test_reliable_mux_stack_over_lossy_fabric(self):
+        fabric = InMemoryFabric(latency_s=0.01, loss_probability=0.3, seed=5)
+        spec = StackSpec(
+            reliable=True,
+            reliability_params=ReliabilityParams(ack_timeout_s=0.1, max_retries=8),
+            multiplexed=True,
+        )
+        stack_a = build_stack(fabric.endpoint("a"), spec)
+        stack_b = build_stack(fabric.endpoint("b"), spec)
+        got = []
+        stack_b.channel("app").set_receiver(lambda src, data: got.append(data))
+        for i in range(30):
+            stack_a.channel("app").send(Address("b"), f"m{i}".encode())
+        fabric.run()
+        assert len(got) == 30
+
+    def test_plain_stack_passthrough(self):
+        fabric = InMemoryFabric()
+        stack = build_stack(fabric.endpoint("a"), StackSpec(reliable=False))
+        assert stack.top is stack.base
+
+    def test_channel_without_mux_raises(self):
+        fabric = InMemoryFabric()
+        stack = build_stack(fabric.endpoint("a"), StackSpec(multiplexed=False))
+        with pytest.raises(ValueError):
+            stack.channel("x")

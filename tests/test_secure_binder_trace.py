@@ -1,0 +1,228 @@
+"""Tests for the secure transport, the MiLAN discovery binder, and the
+metrics recorder."""
+
+import pytest
+
+from repro.core.binder import DiscoveryBinder
+from repro.core.milan import Milan
+from repro.core.policy import ApplicationPolicy
+from repro.core.requirements import VariableRequirements
+from repro.discovery.description import ServiceDescription
+from repro.discovery.distributed import DistributedDiscovery
+from repro.errors import ConfigurationError
+from repro.netsim import topology
+from repro.netsim.medium import IDEAL_RADIO
+from repro.netsim.trace import MetricsRecorder, Summary
+from repro.qos.spec import SupplierQoS
+from repro.transport.base import Address
+from repro.transport.inmemory import InMemoryFabric
+from repro.transport.secure import (
+    SECURE_OVERHEAD_BYTES,
+    SecureChannel,
+    SecureTransport,
+)
+from repro.transport.simnet import SimFabric
+from repro.util.clock import ManualClock
+
+KEY = b"0123456789abcdef-shared-secret"
+OTHER_KEY = b"another-key-0123456789abcdef!!"
+
+
+class TestSecureChannel:
+    def test_seal_open_round_trip(self):
+        channel = SecureChannel(KEY)
+        frame = channel.seal("node:port", b"secret payload")
+        assert SecureChannel(KEY).open(frame) == b"secret payload"
+
+    def test_ciphertext_differs_from_plaintext(self):
+        channel = SecureChannel(KEY)
+        frame = channel.seal("a", b"secret payload")
+        assert b"secret payload" not in frame
+
+    def test_nonces_never_repeat(self):
+        channel = SecureChannel(KEY)
+        frames = {channel.seal("a", b"x")[:12] for _ in range(100)}
+        assert len(frames) == 100
+
+    def test_wrong_key_fails_open(self):
+        frame = SecureChannel(KEY).seal("a", b"data")
+        assert SecureChannel(OTHER_KEY).open(frame) is None
+
+    def test_tampering_detected(self):
+        frame = bytearray(SecureChannel(KEY).seal("a", b"data"))
+        frame[14] ^= 0x01  # flip a ciphertext bit
+        assert SecureChannel(KEY).open(bytes(frame)) is None
+
+    def test_truncated_frame_rejected(self):
+        assert SecureChannel(KEY).open(b"short") is None
+
+    def test_empty_payload(self):
+        channel = SecureChannel(KEY)
+        assert SecureChannel(KEY).open(channel.seal("a", b"")) == b""
+
+    def test_short_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SecureChannel(b"short")
+
+
+class TestSecureTransport:
+    def test_end_to_end_encrypted_delivery(self):
+        fabric = InMemoryFabric(latency_s=0.01)
+        a = SecureTransport(fabric.endpoint("a"), KEY)
+        b = SecureTransport(fabric.endpoint("b"), KEY)
+        received = []
+        b.set_receiver(lambda src, data: received.append(data))
+        a.send(Address("b"), b"confidential")
+        fabric.run()
+        assert received == [b"confidential"]
+
+    def test_wrong_key_peer_gets_nothing(self):
+        fabric = InMemoryFabric(latency_s=0.01)
+        a = SecureTransport(fabric.endpoint("a"), KEY)
+        intruder = SecureTransport(fabric.endpoint("b"), OTHER_KEY)
+        received = []
+        intruder.set_receiver(lambda src, data: received.append(data))
+        a.send(Address("b"), b"confidential")
+        fabric.run()
+        assert received == []
+        assert intruder.auth_failures == 1
+
+    def test_plaintext_never_on_the_wire(self):
+        fabric = InMemoryFabric(latency_s=0.01)
+        a = SecureTransport(fabric.endpoint("a"), KEY)
+        wiretap = fabric.endpoint("b")  # raw endpoint: sees ciphertext
+        captured = []
+        wiretap.set_receiver(lambda src, data: captured.append(data))
+        a.send(Address("b"), b"confidential")
+        fabric.run()
+        assert len(captured) == 1
+        assert b"confidential" not in captured[0]
+        assert len(captured[0]) == len(b"confidential") + SECURE_OVERHEAD_BYTES
+
+    def test_overhead_accounted(self):
+        fabric = InMemoryFabric()
+        a = SecureTransport(fabric.endpoint("a"), KEY)
+        a.send(Address("b"), b"12345")
+        assert a.inner.sent_bytes == 5 + SECURE_OVERHEAD_BYTES
+
+
+def _binder_policy() -> ApplicationPolicy:
+    return ApplicationPolicy(
+        "binder-test",
+        VariableRequirements().require("on", "temp", 0.8),
+        initial_state="on",
+    )
+
+
+def _sensor_description(sensor_id: str, node: str, reliability: float = 0.9):
+    return ServiceDescription(
+        sensor_id, "sensor", f"{node}:svc",
+        qos=SupplierQoS(properties={"var:temp": str(reliability),
+                                    "power_w": "0.01"}),
+    )
+
+
+class TestDiscoveryBinder:
+    def build(self):
+        network = topology.star(4, radius=40, radio_profile=IDEAL_RADIO)
+        fabric = SimFabric(network)
+        agents = {
+            node_id: DistributedDiscovery(
+                fabric.endpoint(node_id, "disc"), collect_window_s=0.5,
+                advertise_interval_s=2.0, advert_lease_s=4.0,
+            )
+            for node_id in network.node_ids()
+        }
+        milan = Milan(_binder_policy())
+        binder = DiscoveryBinder(
+            milan, agents["hub"], fabric.scheduler,
+            service_type="sensor", refresh_interval_s=2.0, miss_limit=2,
+        )
+        return network, agents, milan, binder
+
+    def test_discovered_sensor_bound(self):
+        network, agents, milan, binder = self.build()
+        agents["leaf0"].advertise(_sensor_description("t1", "leaf0"))
+        network.sim.run_for(4.0)
+        assert "t1" in binder.bound_sensors
+        assert milan.application_satisfied()
+
+    def test_departed_sensor_unbound_after_misses(self):
+        network, agents, milan, binder = self.build()
+        agents["leaf0"].advertise(_sensor_description("t1", "leaf0"))
+        network.sim.run_for(4.0)
+        assert "t1" in binder.bound_sensors
+        agents["leaf0"].withdraw("t1")
+        network.sim.run_for(10.0)
+        assert "t1" not in binder.bound_sensors
+        assert "t1" not in milan.sensors
+
+    def test_multiple_sensors_and_events(self):
+        network, agents, milan, binder = self.build()
+        bound_events = []
+        binder.events.on("sensor_bound", bound_events.append)
+        agents["leaf0"].advertise(_sensor_description("t1", "leaf0", 0.85))
+        agents["leaf1"].advertise(_sensor_description("t2", "leaf1", 0.95))
+        network.sim.run_for(4.0)
+        assert sorted(bound_events) == ["t1", "t2"]
+
+    def test_non_milan_services_ignored(self):
+        network, agents, milan, binder = self.build()
+        plain = ServiceDescription("printer-1", "sensor", "leaf2:svc")  # no vars
+        agents["leaf2"].advertise(plain)
+        network.sim.run_for(4.0)
+        assert binder.bound_sensors == set()
+
+    def test_stop_halts_refreshes(self):
+        network, agents, milan, binder = self.build()
+        network.sim.run_for(3.0)
+        binder.stop()
+        count = binder.refreshes
+        network.sim.run_for(10.0)
+        assert binder.refreshes == count
+
+
+class TestMetricsRecorder:
+    def test_counters(self):
+        metrics = MetricsRecorder()
+        metrics.incr("sent")
+        metrics.incr("sent", 2)
+        assert metrics.count("sent") == 3
+        assert metrics.count("missing") == 0
+
+    def test_samples_summary(self):
+        metrics = MetricsRecorder()
+        for value in (1.0, 2.0, 3.0, 4.0, 100.0):
+            metrics.sample("latency", value)
+        summary = metrics.summary("latency")
+        assert summary.count == 5
+        assert summary.mean == pytest.approx(22.0)
+        assert summary.p50 == 3.0
+        assert summary.maximum == 100.0
+
+    def test_empty_summary(self):
+        summary = MetricsRecorder().summary("nothing")
+        assert summary.count == 0 and summary.mean == 0.0
+
+    def test_series_timestamps_from_clock(self):
+        clock = ManualClock()
+        metrics = MetricsRecorder(clock)
+        metrics.record("energy", 5.0)
+        clock.advance(2.0)
+        metrics.record("energy", 4.0)
+        assert metrics.series_values("energy") == [(0.0, 5.0), (2.0, 4.0)]
+        assert metrics.last("energy").value == 4.0
+
+    def test_render_contains_all_metrics(self):
+        metrics = MetricsRecorder()
+        metrics.incr("packets")
+        metrics.sample("delay", 0.5)
+        metrics.record("battery", 1.0)
+        rendered = metrics.render("test metrics")
+        assert "packets" in rendered
+        assert "delay" in rendered
+        assert "battery" in rendered
+
+    def test_summary_of_static(self):
+        summary = Summary.of([3.0, 1.0, 2.0])
+        assert (summary.minimum, summary.p50, summary.maximum) == (1.0, 2.0, 3.0)

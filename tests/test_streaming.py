@@ -1,0 +1,105 @@
+"""Tests for multimedia streaming with jitter buffering (§3.10)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netsim import topology
+from repro.netsim.medium import IDEAL_RADIO, RadioProfile
+from repro.transactions.streaming import StreamingSink, StreamingSource
+from repro.transport.inmemory import InMemoryFabric
+from repro.transport.simnet import SimFabric
+
+
+def stream_over(fabric, run_until, frames=50, playout_delay=0.2, interval=0.04,
+                sink_name="sink", source_name="source"):
+    sink_transport = fabric.endpoint(sink_name, "media")
+    sink = StreamingSink(sink_transport, frame_interval_s=interval,
+                         playout_delay_s=playout_delay)
+    source = StreamingSource(
+        fabric.endpoint(source_name, "media"), sink_transport.local_address,
+        frame_interval_s=interval, total_frames=frames,
+    )
+    source.start()
+    run_until(frames * interval + playout_delay + 1.0)
+    return source, sink
+
+
+class TestStreamingCleanChannel:
+    def test_perfect_continuity_on_clean_channel(self):
+        fabric = InMemoryFabric(latency_s=0.005)
+        source, sink = stream_over(fabric, lambda t: fabric.sim.run_until(t))
+        assert source.frames_sent == 50
+        assert sink.frames_played == 50
+        assert sink.continuity() == pytest.approx(1.0)
+        assert sink.underruns == 0 and sink.late_drops == 0
+
+    def test_buffer_wait_close_to_playout_delay(self):
+        fabric = InMemoryFabric(latency_s=0.005)
+        _source, sink = stream_over(fabric, lambda t: fabric.sim.run_until(t),
+                                    playout_delay=0.3)
+        # Constant latency: every frame waits ~playout_delay in the buffer.
+        assert sink.mean_buffer_wait_s() == pytest.approx(0.3, abs=0.05)
+
+    def test_stop_halts_emission(self):
+        fabric = InMemoryFabric()
+        sink_transport = fabric.endpoint("sink", "media")
+        StreamingSink(sink_transport)
+        source = StreamingSource(fabric.endpoint("src", "media"),
+                                 sink_transport.local_address,
+                                 total_frames=None)
+        source.start()
+        fabric.sim.run_until(1.0)
+        source.stop()
+        sent = source.frames_sent
+        fabric.sim.run_until(5.0)
+        assert source.frames_sent == sent
+
+    def test_validation(self):
+        fabric = InMemoryFabric()
+        with pytest.raises(ConfigurationError):
+            StreamingSource(fabric.endpoint("a", "m"), None, frame_interval_s=0)
+        with pytest.raises(ConfigurationError):
+            StreamingSink(fabric.endpoint("b", "m"), playout_delay_s=-1)
+
+
+class TestStreamingLossyChannel:
+    def lossy_run(self, loss, playout_delay, seed=3):
+        fabric = InMemoryFabric(latency_s=0.01, loss_probability=loss, seed=seed)
+        return stream_over(fabric, lambda t: fabric.sim.run_until(t),
+                           frames=200, playout_delay=playout_delay)
+
+    def test_loss_becomes_underruns(self):
+        _source, sink = self.lossy_run(loss=0.2, playout_delay=0.2)
+        assert sink.underruns > 10
+        assert 0.6 < sink.continuity() < 0.95
+
+    def test_continuity_degrades_with_loss(self):
+        _s0, clean = self.lossy_run(loss=0.0, playout_delay=0.2)
+        _s1, lossy = self.lossy_run(loss=0.3, playout_delay=0.2)
+        assert clean.continuity() > lossy.continuity()
+
+
+class TestStreamingJitter:
+    def jitter_run(self, playout_delay, seed=5):
+        # Heavy contention jitter: per-frame delivery delay varies by up to
+        # 150 ms, far beyond the 40 ms frame interval.
+        profile = RadioProfile("jittery", bandwidth_bps=11e6, range_m=100.0,
+                               base_latency_s=0.001,
+                               contention_window_s=0.15)
+        network = topology.star(2, radius=40, radio_profile=profile, seed=seed)
+        fabric = SimFabric(network)
+        return stream_over(
+            fabric, lambda t: network.sim.run_until(t), frames=150,
+            playout_delay=playout_delay,
+            sink_name="leaf0", source_name="leaf1",
+        )
+
+    def test_small_buffer_glitches_large_buffer_does_not(self):
+        """The jitter-buffer tradeoff: latency buys continuity."""
+        _s0, tight = self.jitter_run(playout_delay=0.02)
+        _s1, roomy = self.jitter_run(playout_delay=0.5)
+        assert roomy.continuity() > tight.continuity()
+        assert roomy.continuity() > 0.97
+        assert tight.late_drops + tight.underruns > 0
+        # And the price is buffer latency.
+        assert roomy.mean_buffer_wait_s() > tight.mean_buffer_wait_s()

@@ -1,0 +1,208 @@
+"""Tests for repro.util: ids, events, priority queue, geometry, rng."""
+
+import pytest
+
+from repro.util.events import EventEmitter, HandlerErrors
+from repro.util.geometry import Point, bounding_box, centroid, distance
+from repro.util.ids import IdGenerator, SequenceGenerator
+from repro.util.priorityqueue import StablePriorityQueue
+from repro.util.rng import make_rng, split_rng
+
+
+class TestIds:
+    def test_sequence_increments(self):
+        seq = SequenceGenerator()
+        assert [seq.next() for _ in range(3)] == [0, 1, 2]
+
+    def test_sequence_custom_start(self):
+        assert SequenceGenerator(10).next() == 10
+
+    def test_id_generator_format(self):
+        gen = IdGenerator("msg")
+        assert gen.next() == "msg-0"
+        assert gen.next() == "msg-1"
+
+    def test_id_generator_rejects_empty_prefix(self):
+        with pytest.raises(ValueError):
+            IdGenerator("")
+
+    def test_independent_generators(self):
+        a, b = IdGenerator("a"), IdGenerator("b")
+        a.next()
+        assert b.next() == "b-0"
+
+
+class TestEventEmitter:
+    def test_emit_calls_handler(self):
+        emitter = EventEmitter()
+        seen = []
+        emitter.on("tick", seen.append)
+        emitter.emit("tick", 42)
+        assert seen == [42]
+
+    def test_emit_returns_delivery_count(self):
+        emitter = EventEmitter()
+        emitter.on("e", lambda: None)
+        emitter.on("e", lambda: None)
+        assert emitter.emit("e") == 2
+
+    def test_emit_without_handlers(self):
+        assert EventEmitter().emit("nothing") == 0
+
+    def test_handlers_run_in_subscription_order(self):
+        emitter = EventEmitter()
+        order = []
+        emitter.on("e", lambda: order.append("first"))
+        emitter.on("e", lambda: order.append("second"))
+        emitter.emit("e")
+        assert order == ["first", "second"]
+
+    def test_cancel_detaches(self):
+        emitter = EventEmitter()
+        seen = []
+        sub = emitter.on("e", seen.append)
+        sub.cancel()
+        emitter.emit("e", 1)
+        assert seen == []
+
+    def test_cancel_twice_is_noop(self):
+        emitter = EventEmitter()
+        sub = emitter.on("e", lambda x: None)
+        sub.cancel()
+        sub.cancel()
+
+    def test_once_fires_once(self):
+        emitter = EventEmitter()
+        seen = []
+        emitter.once("e", seen.append)
+        emitter.emit("e", 1)
+        emitter.emit("e", 2)
+        assert seen == [1]
+
+    def test_failing_handler_does_not_block_others(self):
+        emitter = EventEmitter()
+        seen = []
+
+        def bad():
+            raise RuntimeError("boom")
+
+        emitter.on("e", bad)
+        emitter.on("e", lambda: seen.append("ran"))
+        with pytest.raises(HandlerErrors) as excinfo:
+            emitter.emit("e")
+        assert seen == ["ran"]
+        assert len(excinfo.value.errors) == 1
+
+    def test_listener_count(self):
+        emitter = EventEmitter()
+        emitter.on("e", lambda: None)
+        assert emitter.listener_count("e") == 1
+        assert emitter.listener_count("other") == 0
+
+
+class TestStablePriorityQueue:
+    def test_pops_in_priority_order(self):
+        q = StablePriorityQueue()
+        q.push(3, "c")
+        q.push(1, "a")
+        q.push(2, "b")
+        assert [q.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_equal_priorities_pop_fifo(self):
+        q = StablePriorityQueue()
+        q.push(1, "first")
+        q.push(1, "second")
+        assert q.pop()[1] == "first"
+        assert q.pop()[1] == "second"
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            StablePriorityQueue().pop()
+
+    def test_peek_does_not_remove(self):
+        q = StablePriorityQueue()
+        q.push(1, "x")
+        assert q.peek() == (1, "x")
+        assert len(q) == 1
+
+    def test_cancel_removes_entry(self):
+        q = StablePriorityQueue()
+        handle = q.push(1, "a")
+        q.push(2, "b")
+        assert q.cancel(handle)
+        assert q.pop()[1] == "b"
+
+    def test_cancel_twice_returns_false(self):
+        q = StablePriorityQueue()
+        handle = q.push(1, "a")
+        assert q.cancel(handle)
+        assert not q.cancel(handle)
+
+    def test_len_and_bool(self):
+        q = StablePriorityQueue()
+        assert not q and len(q) == 0
+        q.push(1, "a")
+        assert q and len(q) == 1
+
+    def test_pop_if_at_most(self):
+        q = StablePriorityQueue()
+        q.push(5, "later")
+        assert q.pop_if_at_most(4) is None
+        assert q.pop_if_at_most(5) == (5, "later")
+        assert q.pop_if_at_most(100) is None
+
+
+class TestGeometry:
+    def test_distance(self):
+        assert distance(Point(0, 0), Point(3, 4)) == 5.0
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(2, 3)
+        assert p.distance_to(p) == 0.0
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(2, 4)) == Point(1, 2)
+
+    def test_translate(self):
+        assert Point(1, 1).translate(2, -1) == Point(3, 0)
+
+    def test_move_toward_partial(self):
+        moved = Point(0, 0).move_toward(Point(10, 0), 4)
+        assert moved == Point(4, 0)
+
+    def test_move_toward_does_not_overshoot(self):
+        assert Point(0, 0).move_toward(Point(1, 0), 5) == Point(1, 0)
+
+    def test_move_toward_zero_distance(self):
+        p = Point(1, 1)
+        assert p.move_toward(p, 3) == p
+
+    def test_centroid(self):
+        assert centroid([Point(0, 0), Point(2, 0), Point(1, 3)]) == Point(1, 1)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_bounding_box(self):
+        low, high = bounding_box([Point(1, 5), Point(-2, 3), Point(4, 0)])
+        assert low == Point(-2, 0)
+        assert high == Point(4, 5)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    def test_split_is_deterministic(self):
+        assert split_rng(1, "a").random() == split_rng(1, "a").random()
+
+    def test_split_labels_are_independent(self):
+        assert split_rng(1, "a").random() != split_rng(1, "b").random()
