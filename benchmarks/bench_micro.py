@@ -11,7 +11,9 @@ from repro.core.feasibility import minimal_feasible_sets
 from repro.core.sensors import SensorInfo
 from repro.interop.codec import BinaryCodec, SmlCodec
 from repro.interop.sml import parse, serialize
+from repro.netsim.packet import BROADCAST, Packet
 from repro.netsim.simulator import Simulator
+from repro.netsim.topology import grid as topology_grid
 from repro.qos.spec import ConsumerQoS, SupplierQoS, score_match
 from repro.scheduling.policies import EdfPolicy
 from repro.scheduling.scheduler import TaskScheduler
@@ -85,6 +87,34 @@ def test_simulator_event_throughput(benchmark):
         return count[0]
 
     assert benchmark(run_events) == 1000
+
+
+def test_medium_neighbor_scan(benchmark):
+    # 144 nodes, 30 m spacing, 100 m radio range: every broadcast used to
+    # pay a distance check against all 143 other nodes; the spatial grid
+    # confines the scan to the 3x3 cell block around the sender.
+    network = topology_grid(12, 12, spacing=30.0)
+    medium = network.medium
+
+    def broadcast_scan():
+        return len(medium.neighbors_of("n5_5"))
+
+    assert benchmark(broadcast_scan) == 36
+
+
+def test_medium_broadcast_delivery(benchmark):
+    network = topology_grid(8, 8, spacing=30.0)
+    medium = network.medium
+    packet = Packet(
+        source="n4_4", destination=BROADCAST, payload=b"x", payload_bytes=32
+    )
+
+    def transmit_and_drain():
+        medium.transmit("n4_4", packet)
+        network.sim.run()
+        return medium.deliveries
+
+    assert benchmark(transmit_and_drain) > 0
 
 
 def test_scheduler_throughput(benchmark):

@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Run the micro benchmarks and track the perf trajectory in BENCH_micro.json.
+
+This is the repo's perf-regression harness. It runs
+``benchmarks/bench_micro.py`` under pytest-benchmark, reduces each op to
+its median (nanoseconds) and round count, stamps the git sha, and writes
+the result to ``BENCH_micro.json`` at the repo root. When a previous
+BENCH_micro.json exists, the new medians are compared against it first:
+any op slower by more than ``--threshold`` (a ratio; default 1.5x to ride
+out scheduler noise) is reported as a regression and the process exits
+non-zero — but the new numbers are still written, so an intentional
+perf-profile change just needs a second look plus a commit.
+
+Medians are only comparable on the same machine. CI therefore runs with
+``--quick --no-compare --output <tmp>`` as a smoke test of the harness and
+the benches themselves; the committed baseline is refreshed manually::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py            # full run
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --quick    # fast, noisier
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = Path(__file__).resolve().parent / "bench_micro.py"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_micro.json"
+SCHEMA_VERSION = 1
+
+
+def git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def run_benches(quick: bool) -> dict:
+    """Run bench_micro.py via pytest-benchmark; return op -> stats."""
+    with tempfile.TemporaryDirectory(prefix="bench-micro-") as tmp:
+        raw_path = Path(tmp) / "raw.json"
+        cmd = [
+            sys.executable, "-m", "pytest", str(BENCH_FILE), "-q",
+            "--benchmark-json", str(raw_path),
+        ]
+        if quick:
+            cmd += [
+                "--benchmark-max-time", "0.2",
+                "--benchmark-min-rounds", "3",
+                "--benchmark-warmup", "off",
+            ]
+        env_path = f"{REPO_ROOT / 'src'}"
+        import os
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            env_path + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH") else env_path
+        )
+        result = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+        if result.returncode != 0:
+            raise SystemExit(f"benchmark run failed (pytest exit {result.returncode})")
+        raw = json.loads(raw_path.read_text())
+    ops = {}
+    for bench in raw["benchmarks"]:
+        ops[bench["name"]] = {
+            "median_ns": round(bench["stats"]["median"] * 1e9, 1),
+            "rounds": bench["stats"]["rounds"],
+        }
+    return ops
+
+
+def compare(previous: dict, current: dict, threshold: float) -> list:
+    """Return [(op, old_ns, new_ns, ratio, regressed)] for shared ops."""
+    rows = []
+    for op, stats in sorted(current.items()):
+        old = previous.get("ops", {}).get(op)
+        if old is None:
+            continue
+        old_ns = old["median_ns"]
+        new_ns = stats["median_ns"]
+        ratio = new_ns / old_ns if old_ns else float("inf")
+        rows.append((op, old_ns, new_ns, ratio, ratio > threshold))
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fast smoke run (fewer rounds, noisier medians)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"JSON to write/compare (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--threshold", type=float, default=1.5,
+                        help="regression ratio: fail when new/old exceeds this "
+                             "(default 1.5)")
+    parser.add_argument("--no-compare", action="store_true",
+                        help="skip the regression comparison (first baselines, CI "
+                             "smoke runs on foreign machines)")
+    args = parser.parse_args(argv)
+
+    previous = None
+    if args.output.exists():
+        try:
+            previous = json.loads(args.output.read_text())
+        except (OSError, json.JSONDecodeError):
+            print(f"warning: could not parse previous {args.output}; "
+                  "treating as no baseline", file=sys.stderr)
+
+    ops = run_benches(args.quick)
+    record = {
+        "schema": SCHEMA_VERSION,
+        "git_sha": git_sha(),
+        "python": sys.version.split()[0],
+        "quick": args.quick,
+        "ops": ops,
+    }
+
+    regressed = []
+    if previous is not None and not args.no_compare:
+        rows = compare(previous, ops, args.threshold)
+        print(f"\n{'op':<36} {'old (us)':>12} {'new (us)':>12} {'ratio':>7}")
+        for op, old_ns, new_ns, ratio, bad in rows:
+            flag = "  REGRESSION" if bad else ""
+            print(f"{op:<36} {old_ns / 1e3:>12.1f} {new_ns / 1e3:>12.1f} "
+                  f"{ratio:>6.2f}x{flag}")
+        regressed = [row for row in rows if row[4]]
+        baseline_sha = previous.get("git_sha", "?")[:12]
+        print(f"(baseline {baseline_sha}, threshold {args.threshold}x)")
+
+    args.output.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+
+    if regressed:
+        names = ", ".join(row[0] for row in regressed)
+        print(f"PERF REGRESSION in: {names}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

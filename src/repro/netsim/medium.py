@@ -12,12 +12,15 @@ components off).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.errors import ConfigurationError
+from repro.netsim.mobility import is_time_varying
 from repro.netsim.node import Node
 from repro.netsim.packet import Packet
 from repro.netsim.simulator import Simulator
+from repro.netsim.spatialindex import SpatialHashGrid
+from repro.util.events import Subscription
 from repro.util.rng import split_rng
 
 
@@ -74,6 +77,13 @@ class WirelessMedium:
     Determinism: the loss and contention processes draw from a stream derived
     from ``(seed, "medium:<profile name>")``, independent of any other
     randomness in the run.
+
+    In-range queries go through a :class:`SpatialHashGrid` with cell size
+    equal to the radio range, so a broadcast inspects only the 3x3 cell
+    block around the sender instead of scanning every attached node. Nodes
+    with time-varying mobility are re-bucketed lazily, at most once per
+    distinct virtual timestamp; static nodes re-bucket only when their
+    ``"moved"`` event fires.
     """
 
     def __init__(self, sim: Simulator, profile: RadioProfile = WIFI_80211, seed: int = 0):
@@ -81,6 +91,12 @@ class WirelessMedium:
         self.profile = profile
         self._nodes: Dict[str, Node] = {}
         self._rng = split_rng(seed, f"medium:{profile.name}")
+        self._grid = SpatialHashGrid(profile.range_m)
+        self._mobile: Set[str] = set()
+        self._grid_time: Optional[float] = None
+        self._attach_seq: Dict[str, int] = {}
+        self._next_seq = 0
+        self._moved_subs: Dict[str, Subscription] = {}
         # Counters for the overhead experiments.
         self.transmissions = 0
         self.deliveries = 0
@@ -95,9 +111,47 @@ class WirelessMedium:
         if node.node_id in self._nodes:
             raise ConfigurationError(f"node {node.node_id!r} already attached")
         self._nodes[node.node_id] = node
+        self._attach_seq[node.node_id] = self._next_seq
+        self._next_seq += 1
+        position = node.position
+        self._grid.insert(node.node_id, position.x, position.y)
+        if is_time_varying(node.mobility):
+            self._mobile.add(node.node_id)
+        self._moved_subs[node.node_id] = node.events.on("moved", self._on_node_moved)
 
     def detach(self, node_id: str) -> None:
-        self._nodes.pop(node_id, None)
+        if self._nodes.pop(node_id, None) is None:
+            return
+        self._grid.remove(node_id)
+        self._mobile.discard(node_id)
+        self._attach_seq.pop(node_id, None)
+        subscription = self._moved_subs.pop(node_id, None)
+        if subscription is not None:
+            subscription.cancel()
+
+    def _on_node_moved(self, node: Node) -> None:
+        """Invalidation hook: a node was pinned or given a new mobility model."""
+        node_id = node.node_id
+        if node_id not in self._nodes:
+            return
+        position = node.position
+        self._grid.move(node_id, position.x, position.y)
+        if is_time_varying(node.mobility):
+            self._mobile.add(node_id)
+        else:
+            self._mobile.discard(node_id)
+
+    def _refresh_grid(self) -> None:
+        """Re-bucket time-varying nodes once per distinct virtual timestamp."""
+        now = self.sim.now()
+        if now == self._grid_time:
+            return
+        grid = self._grid
+        nodes = self._nodes
+        for node_id in self._mobile:
+            position = nodes[node_id].position
+            grid.move(node_id, position.x, position.y)
+        self._grid_time = now
 
     def nodes(self) -> List[Node]:
         return list(self._nodes.values())
@@ -106,17 +160,27 @@ class WirelessMedium:
         return self._nodes.get(node_id)
 
     def neighbors_of(self, node_id: str) -> List[Node]:
-        """Alive nodes currently within radio range of ``node_id``."""
+        """Alive nodes currently within radio range of ``node_id``.
+
+        Results come from the spatial grid (then an exact range check) and
+        are ordered by attachment, matching the pre-grid all-nodes scan.
+        """
         origin = self._nodes.get(node_id)
         if origin is None:
             return []
-        return [
-            other
-            for other in self._nodes.values()
-            if other.node_id != node_id
-            and other.alive
-            and origin.distance_to(other) <= self.profile.range_m
+        self._refresh_grid()
+        position = origin.position
+        nodes = self._nodes
+        out = [
+            nodes[candidate_id]
+            for candidate_id in self._grid.query_circle(
+                position.x, position.y, self.profile.range_m
+            )
+            if candidate_id != node_id and nodes[candidate_id].alive
         ]
+        sequence = self._attach_seq
+        out.sort(key=lambda node: sequence[node.node_id])
+        return out
 
     # ----------------------------------------------------------- transmission
 
@@ -143,19 +207,20 @@ class WirelessMedium:
             tx_distance = self.profile.range_m
         else:
             target = self._nodes.get(packet.destination)
-            if target is None or not target.alive:
+            if target is None:
                 self.drops_dead += 1
                 receivers = []
-            elif sender.distance_to(target) > self.profile.range_m:
-                self.drops_out_of_range += 1
-                receivers = []
+                tx_distance = self.profile.range_m
             else:
-                receivers = [target]
-            tx_distance = (
-                sender.distance_to(target)
-                if target is not None
-                else self.profile.range_m
-            )
+                tx_distance = sender.distance_to(target)
+                if not target.alive:
+                    self.drops_dead += 1
+                    receivers = []
+                elif tx_distance > self.profile.range_m:
+                    self.drops_out_of_range += 1
+                    receivers = []
+                else:
+                    receivers = [target]
 
         # The sender pays for the transmission whether or not anyone hears it.
         still_powered = sender.charge_tx(packet.size_bits, tx_distance)

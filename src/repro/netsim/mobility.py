@@ -22,6 +22,18 @@ class MobilityModel(Protocol):
         ...
 
 
+def is_time_varying(model: "MobilityModel | None") -> bool:
+    """True when ``model`` can report different positions over time.
+
+    Spatial caches (the medium's hash grid) key off this: a node with a
+    time-varying model must have its cached position refreshed whenever
+    virtual time advances, while static nodes only move on explicit
+    ``set_position``/``set_mobility`` calls — which emit ``"moved"``
+    events the caches subscribe to.
+    """
+    return model is not None and not isinstance(model, StaticMobility)
+
+
 class StaticMobility:
     """A fixed position (the default for infrastructure nodes)."""
 

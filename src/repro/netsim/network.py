@@ -102,8 +102,11 @@ class Network:
 
     def neighbors(self, node_id: str) -> List[Node]:
         """Alive one-hop neighbors over radio or wire, deduplicated."""
+        radio_peers = self.medium.neighbors_of(node_id)
+        if not self.links:  # all-wireless deployments skip the merge dict
+            return radio_peers
         seen: Dict[str, Node] = {}
-        for peer in self.medium.neighbors_of(node_id):
+        for peer in radio_peers:
             seen[peer.node_id] = peer
         for peer in self.wired_peers(node_id):
             seen[peer.node_id] = peer

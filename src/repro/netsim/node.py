@@ -31,6 +31,8 @@ class Node:
     * ``"crashed"`` (node) — explicit failure injection.
     * ``"depleted"`` (node) — battery hit zero.
     * ``"recovered"`` (node) — restarted after a crash.
+    * ``"moved"`` (node) — position pinned or mobility model swapped;
+      spatial caches (the medium's hash grid) invalidate on this.
     """
 
     def __init__(
@@ -91,13 +93,20 @@ class Node:
             return self._home_position
         return self._mobility.position_at(self.sim.now())
 
+    @property
+    def mobility(self) -> Optional["MobilityModel"]:
+        """The attached mobility model, if any."""
+        return self._mobility
+
     def set_position(self, position: Point) -> None:
         """Pin the node to a static position (detaches any mobility model)."""
         self._home_position = position
         self._mobility = None
+        self.events.emit("moved", self)
 
     def set_mobility(self, mobility: "MobilityModel") -> None:
         self._mobility = mobility
+        self.events.emit("moved", self)
 
     def distance_to(self, other: "Node") -> float:
         return self.position.distance_to(other.position)

@@ -3,16 +3,28 @@
 A :class:`Simulator` owns a virtual clock and a stable event queue. Events
 scheduled for the same instant fire in scheduling order, which (together with
 seeded RNGs everywhere else) makes whole-system runs reproducible.
+
+The event loop is a measured hot path (``benchmarks/bench_micro.py``), so it
+trades a little abstraction for speed: queue entries carry ``(fn, args)``
+tuples instead of a per-event thunk lambda, and :meth:`Simulator.run` /
+:meth:`Simulator.run_until` inline the lazy-deletion pop and the clock
+assignment against the queue's documented internals rather than going
+through ``pop()``/``peek()`` per event. The heap invariant — every queued
+entry's time is >= the current clock, enforced at scheduling — is what
+makes the unguarded clock assignment in those loops safe.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Any, Callable, List, Optional
+from heapq import heappop
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.util.clock import ManualClock
-from repro.util.priorityqueue import StablePriorityQueue
+from repro.util.priorityqueue import StablePriorityQueue, _REMOVED
+
+#: A queue item: the callback and its (possibly empty) argument tuple.
+Event = Tuple[Callable[..., None], Tuple[Any, ...]]
 
 
 class EventHandle:
@@ -46,8 +58,7 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0):
         self._clock = ManualClock(start_time)
-        self._queue: StablePriorityQueue[Callable[[], None]] = StablePriorityQueue()
-        self._running = False
+        self._queue: StablePriorityQueue[Event] = StablePriorityQueue()
         self.events_processed = 0
 
     # ------------------------------------------------------------------ time
@@ -65,18 +76,25 @@ class Simulator:
 
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
         """Run ``fn(*args)`` after ``delay`` seconds of virtual time."""
-        if delay < 0 or math.isnan(delay):
+        # A single inverted comparison rejects negatives and NaN alike
+        # (NaN compares False against everything).
+        if not delay >= 0.0:
             raise SimulationError(f"cannot schedule event with delay {delay!r}")
-        return self.schedule_at(self.now() + delay, fn, *args)
+        when = self._clock._now + delay
+        entry = self._queue.push(when, (fn, args))
+        return EventHandle(self._queue, entry, when)
 
     def schedule_at(self, when: float, fn: Callable[..., None], *args: Any) -> EventHandle:
         """Run ``fn(*args)`` at absolute virtual time ``when``."""
-        if when < self.now():
+        # Inverted comparison so NaN (which compares False either way, and
+        # would corrupt heap ordering) is rejected along with the past.
+        if not when >= self._clock._now:
             raise SimulationError(
-                f"cannot schedule event in the past ({when!r} < {self.now()!r})"
+                f"cannot schedule event at {when!r} "
+                f"(past or NaN; now is {self._clock._now!r})"
             )
-        thunk = (lambda: fn(*args)) if args else fn
-        entry = self._queue.push(when, thunk)
+        when = when + 0.0  # normalize ints so now() stays a float
+        entry = self._queue.push(when, (fn, args))
         return EventHandle(self._queue, entry, when)
 
     def schedule_every(
@@ -105,26 +123,37 @@ class Simulator:
     def step(self) -> bool:
         """Process the single next event; returns False if the queue is empty."""
         try:
-            when, thunk = self._queue.pop()
+            when, (fn, args) = self._queue.pop()
         except IndexError:
             return False
-        self._clock.set(when)
+        self._clock._now = when
         self.events_processed += 1
-        thunk()
+        fn(*args)
         return True
 
     def run_until(self, deadline: float) -> None:
         """Process events with time <= deadline, then set the clock to deadline."""
-        while True:
-            popped = self._queue.pop_if_at_most(deadline)
-            if popped is None:
+        queue = self._queue
+        heap = queue._heap
+        clock = self._clock
+        removed = _REMOVED
+        while heap:
+            entry = heap[0]
+            item = entry[2]
+            if item is removed:
+                heappop(heap)
+                continue
+            when = entry[0]
+            if when > deadline:
                 break
-            when, thunk = popped
-            self._clock.set(when)
+            heappop(heap)
+            entry[2] = removed  # a late cancel() of the handle is a no-op
+            queue._live -= 1
+            clock._now = when
             self.events_processed += 1
-            thunk()
-        if deadline > self.now():
-            self._clock.set(deadline)
+            item[0](*item[1])
+        if deadline > clock._now:
+            clock.set(deadline)
 
     def run_for(self, duration: float) -> None:
         """Process events for ``duration`` seconds of virtual time."""
@@ -136,8 +165,21 @@ class Simulator:
         The cap catches accidental infinite event chains (e.g. an unjittered
         retransmit loop) rather than hanging the test suite.
         """
+        queue = self._queue
+        heap = queue._heap
+        clock = self._clock
+        removed = _REMOVED
         processed = 0
-        while self.step():
+        while heap:
+            entry = heappop(heap)
+            item = entry[2]
+            if item is removed:
+                continue
+            entry[2] = removed
+            queue._live -= 1
+            clock._now = entry[0]
+            self.events_processed += 1
+            item[0](*item[1])
             processed += 1
             if processed > max_events:
                 raise SimulationError(

@@ -17,6 +17,7 @@ from repro.netsim.medium import RadioProfile, WIFI_80211
 from repro.netsim.network import Network
 from repro.netsim.node import Node
 from repro.netsim.simulator import Simulator
+from repro.netsim.spatialindex import points_connected
 from repro.util.geometry import Point
 from repro.util.rng import split_rng
 
@@ -65,20 +66,32 @@ def random_geometric(
 
     With ``require_connected`` (the default) placement is retried with
     perturbed seeds until the connectivity graph is a single component, so
-    multi-hop experiments never start partitioned.
+    multi-hop experiments never start partitioned. Disconnected placements
+    are rejected with a grid-accelerated point check
+    (:func:`repro.netsim.spatialindex.points_connected`) before any
+    network is built, so retries cost a BFS over raw coordinates rather
+    than a full Network construction.
     """
     if n <= 0:
         raise ConfigurationError(f"node count must be positive, got {n}")
     for attempt in range(max_attempts):
         rng = split_rng(seed + attempt * 7919, "topology:rgg")
+        coords = [
+            (rng.uniform(0, area[0]), rng.uniform(0, area[1])) for _ in range(n)
+        ]
+        batteries = [battery_factory(f"n{i}") for i in range(n)]
+        # The cheap pre-filter matches Network.is_connected only when every
+        # node starts alive; depleted-at-birth batteries shrink the set of
+        # nodes that must be mutually reachable, so fall through to the
+        # authoritative check in that case.
+        all_alive = not any(battery.depleted for battery in batteries)
+        if require_connected and all_alive and not points_connected(
+            coords, radio_profile.range_m
+        ):
+            continue
         network = Network(sim=sim, radio_profile=radio_profile, seed=seed)
-        for i in range(n):
-            node_id = f"n{i}"
-            network.add_node(
-                node_id,
-                position=Point(rng.uniform(0, area[0]), rng.uniform(0, area[1])),
-                battery=battery_factory(node_id),
-            )
+        for i, (x, y) in enumerate(coords):
+            network.add_node(f"n{i}", position=Point(x, y), battery=batteries[i])
         if not require_connected or network.is_connected():
             return network
     raise ConfigurationError(

@@ -16,11 +16,28 @@ T = TypeVar("T")
 _REMOVED = object()
 
 
+#: Dead entries may outnumber live ones by this much before :meth:`cancel`
+#: triggers an automatic :meth:`StablePriorityQueue.compact` sweep.
+_AUTO_COMPACT_MIN_DEAD = 64
+
+
 class StablePriorityQueue(Generic[T]):
     """Min-heap keyed by (priority, insertion sequence).
 
     Entries with equal priority pop in the order they were pushed. ``push``
     returns an opaque handle usable with :meth:`cancel`.
+
+    Cancellation is lazy — the entry is tombstoned in place and skipped at
+    pop time. Workloads that cancel most of what they schedule (e.g. the
+    reliable transport's retransmit timers, cancelled on every ack) would
+    otherwise grow the heap without bound, so :meth:`cancel` sweeps the
+    tombstones out whenever dead entries outnumber live ones; see
+    :meth:`compact`.
+
+    The heap list (``_heap``) and tombstone sentinel (``_REMOVED``) are
+    deliberately stable internals: the simulator's event loop inlines the
+    pop path against them (see :mod:`repro.netsim.simulator`). ``compact``
+    therefore rebuilds the heap *in place*, never rebinding the list.
     """
 
     def __init__(self) -> None:
@@ -40,7 +57,26 @@ class StablePriorityQueue(Generic[T]):
             return False
         entry[2] = _REMOVED
         self._live -= 1
+        dead = len(self._heap) - self._live
+        if dead > _AUTO_COMPACT_MIN_DEAD and dead > self._live:
+            self.compact()
         return True
+
+    def compact(self) -> int:
+        """Sweep tombstoned entries out of the heap; returns how many.
+
+        O(live) rebuild, amortized O(1) per cancel under the automatic
+        trigger (each sweep removes at least half the heap). Rebuilds the
+        existing list in place so long-lived references to the heap stay
+        valid across a sweep.
+        """
+        heap = self._heap
+        dead = len(heap) - self._live
+        if dead == 0:
+            return 0
+        heap[:] = [entry for entry in heap if entry[2] is not _REMOVED]
+        heapq.heapify(heap)
+        return dead
 
     def pop(self) -> Tuple[Any, T]:
         """Remove and return ``(priority, item)`` for the smallest entry."""

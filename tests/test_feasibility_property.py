@@ -1,0 +1,111 @@
+"""Result-identity tests: bitmask feasible-set search vs the reference.
+
+The optimized search in :mod:`repro.core.feasibility` must return *exactly*
+what the retained O(2^n) reference implementation returns — same sets, same
+order — for every input, including the degenerate corners (empty
+requirements, depleted sensors, ``max_size``/``max_sets`` caps). Hypothesis
+generates the fleets; a deterministic seeded sweep adds breadth beyond what
+one hypothesis run explores.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.feasibility import minimal_feasible_sets, satisfies
+from repro.core.feasibility_reference import minimal_feasible_sets_reference
+from repro.core.sensors import SensorInfo
+
+VARIABLES = ["v0", "v1", "v2", "v3"]
+
+_reliability = st.one_of(
+    st.floats(min_value=0.05, max_value=0.999),
+    st.just(1.0),  # exercise the log(0) = -inf contribution path
+)
+
+_measures = st.dictionaries(
+    st.sampled_from(VARIABLES), _reliability, min_size=1, max_size=4
+)
+
+
+def _fleet():
+    """Up to 12 sensors; some born depleted (they must be ignored)."""
+    return st.lists(
+        st.tuples(_measures, st.sampled_from([1.0, 1.0, 1.0, 0.0])),
+        min_size=0, max_size=12,
+    ).map(
+        lambda specs: [
+            SensorInfo(f"s{i:02d}", measures, active_power_w=0.01, energy_j=energy)
+            for i, (measures, energy) in enumerate(specs)
+        ]
+    )
+
+
+_requirements = st.dictionaries(
+    st.sampled_from(VARIABLES),
+    st.floats(min_value=0.1, max_value=0.999),
+    min_size=0, max_size=4,
+)
+
+
+class TestBitmaskMatchesReference:
+    @given(
+        _fleet(),
+        _requirements,
+        st.sampled_from([None, 0, 1, 2, 3, 12]),
+        st.sampled_from([0, 1, 3, 5, 256]),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_identical_results(self, sensors, requirements, max_size, max_sets):
+        expected = minimal_feasible_sets_reference(
+            sensors, requirements, max_size=max_size, max_sets=max_sets
+        )
+        actual = minimal_feasible_sets(
+            sensors, requirements, max_size=max_size, max_sets=max_sets
+        )
+        assert actual == expected
+
+    @given(_fleet(), _requirements)
+    @settings(max_examples=200, deadline=None)
+    def test_every_returned_set_is_minimal(self, sensors, requirements):
+        by_id = {s.sensor_id: s for s in sensors}
+        for feasible in minimal_feasible_sets(sensors, requirements):
+            members = [by_id[i] for i in feasible]
+            assert satisfies(members, requirements)
+            for removed in feasible:
+                smaller = [by_id[i] for i in feasible if i != removed]
+                assert not satisfies(smaller, requirements)
+
+
+def test_seeded_sweep_matches_reference():
+    """Deterministic breadth: 300 random configurations, all corners on."""
+    rng = random.Random(20260806)
+    for _ in range(300):
+        n = rng.randint(0, 12)
+        n_vars = rng.randint(1, 4)
+        sensors = []
+        for i in range(n):
+            measures = {}
+            for v in rng.sample(VARIABLES[:n_vars], rng.randint(1, n_vars)):
+                measures[v] = 1.0 if rng.random() < 0.1 else rng.uniform(0.05, 0.999)
+            energy = 0.0 if rng.random() < 0.15 else 1.0
+            sensors.append(
+                SensorInfo(f"s{i:02d}", measures, active_power_w=0.01,
+                           energy_j=energy)
+            )
+        requirements = {
+            v: rng.uniform(0.1, 0.999)
+            for v in rng.sample(VARIABLES[:n_vars], rng.randint(0, n_vars))
+        }
+        max_size = rng.choice([None, None, 0, 1, 2, 3, n])
+        max_sets = rng.choice([0, 1, 3, 5, 256])
+        expected = minimal_feasible_sets_reference(
+            sensors, requirements, max_size=max_size, max_sets=max_sets
+        )
+        actual = minimal_feasible_sets(
+            sensors, requirements, max_size=max_size, max_sets=max_sets
+        )
+        assert actual == expected, (
+            f"mismatch for n={n} requirements={requirements} "
+            f"max_size={max_size} max_sets={max_sets}"
+        )

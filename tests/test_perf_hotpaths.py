@@ -1,0 +1,175 @@
+"""Regression tests for the optimized hot paths.
+
+Covers the behaviors the event-loop and queue rewrites must preserve: NaN
+rejection at scheduling time (NaN used to slip past the ``when < now``
+guard and corrupt heap ordering), tombstone compaction semantics, and the
+inlined pop paths in ``run``/``run_until`` honoring cancellation.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim.simulator import Simulator
+from repro.util.priorityqueue import StablePriorityQueue
+
+
+class TestNaNScheduling:
+    def test_schedule_at_rejects_nan(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(math.nan, lambda: None)
+        assert sim.pending_events() == 0
+
+    def test_schedule_rejects_nan_delay(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(math.nan, lambda: None)
+        assert sim.pending_events() == 0
+
+    def test_schedule_at_still_rejects_past(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(4.999, lambda: None)
+
+    def test_schedule_at_now_and_integer_times_still_work(self):
+        sim = Simulator(start_time=2.0)
+        fired = []
+        sim.schedule_at(2.0, fired.append, "now")
+        sim.schedule_at(3, fired.append, "int")  # int when must normalize
+        sim.run()
+        assert fired == ["now", "int"]
+        assert isinstance(sim.now(), float)
+
+
+class TestQueueCompaction:
+    def test_compact_sweeps_only_tombstones(self):
+        queue = StablePriorityQueue()
+        handles = [queue.push(i, f"item{i}") for i in range(10)]
+        for handle in handles[::2]:
+            queue.cancel(handle)
+        assert queue.compact() == 5
+        assert len(queue._heap) == 5  # tombstones actually gone
+        assert [queue.pop()[1] for _ in range(len(queue))] == [
+            "item1", "item3", "item5", "item7", "item9"
+        ]
+
+    def test_compact_on_clean_queue_is_noop(self):
+        queue = StablePriorityQueue()
+        queue.push(1, "a")
+        assert queue.compact() == 0
+        assert queue.pop() == (1, "a")
+
+    def test_cancel_auto_compacts_when_dead_dominate(self):
+        queue = StablePriorityQueue()
+        live = queue.push(0, "keep")
+        handles = [queue.push(i + 1, i) for i in range(200)]
+        for handle in handles:
+            queue.cancel(handle)
+        # Lazy deletion alone would leave 200 tombstones in the list.
+        assert len(queue) == 1
+        assert len(queue._heap) < 200
+        assert queue.pop() == (0, "keep")
+        assert queue.cancel(live) is False  # popped entries cannot be cancelled
+
+    def test_cancel_after_compact_returns_false(self):
+        queue = StablePriorityQueue()
+        handle = queue.push(1, "a")
+        queue.cancel(handle)
+        queue.compact()
+        assert queue.cancel(handle) is False
+        assert len(queue) == 0
+
+    def test_stable_order_preserved_across_compact(self):
+        queue = StablePriorityQueue()
+        queue.push(1, "first")
+        doomed = queue.push(1, "doomed")
+        queue.push(1, "second")
+        queue.cancel(doomed)
+        queue.compact()
+        assert queue.pop() == (1, "first")
+        assert queue.pop() == (1, "second")
+
+
+class TestInlinedEventLoops:
+    def test_run_skips_cancelled_events(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "cancelled")
+        sim.schedule(2.0, fired.append, "kept")
+        handle.cancel()
+        sim.run()
+        assert fired == ["kept"]
+        assert sim.events_processed == 1
+
+    def test_run_until_skips_cancelled_and_sets_clock(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "cancelled")
+        sim.schedule(2.0, fired.append, "kept")
+        sim.schedule(9.0, fired.append, "late")
+        handle.cancel()
+        sim.run_until(5.0)
+        assert fired == ["kept"]
+        assert sim.now() == 5.0
+        assert sim.pending_events() == 1
+
+    def test_cancel_during_run_is_honored(self):
+        sim = Simulator()
+        fired = []
+        later = sim.schedule(2.0, fired.append, "later")
+        sim.schedule(1.0, lambda: later.cancel())
+        sim.run()
+        assert fired == []
+
+    def test_late_cancel_of_fired_event_is_noop(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        sim.run()
+        assert handle.cancel() is False
+        assert fired == ["x"]
+
+    def test_mass_cancellation_mid_run_with_auto_compact(self):
+        # A callback cancelling hundreds of pending events exercises the
+        # in-place compact while run()'s inlined loop holds a reference to
+        # the heap list; events scheduled after the sweep must still fire.
+        sim = Simulator()
+        fired = []
+        handles = [sim.schedule(2.0 + i * 0.001, fired.append, i) for i in range(300)]
+
+        def cancel_most_then_reschedule():
+            for handle in handles[10:]:
+                handle.cancel()
+            sim.schedule(5.0, fired.append, "after-sweep")
+
+        sim.schedule(1.0, cancel_most_then_reschedule)
+        sim.run()
+        assert fired == list(range(10)) + ["after-sweep"]
+
+    def test_run_until_deadline_exactly_on_event_time_fires_it(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(3.0, fired.append, "edge")
+        sim.run_until(3.0)
+        assert fired == ["edge"]
+        assert sim.now() == 3.0
+
+    def test_same_time_events_fire_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        for label in ("a", "b", "c"):
+            sim.schedule(1.0, fired.append, label)
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_run_event_cap_still_raises(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(0.001, rearm)
+
+        sim.schedule(0.001, rearm)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=50)

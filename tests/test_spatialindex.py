@@ -1,0 +1,231 @@
+"""Tests for the spatial hash grid and its wiring into the wireless medium.
+
+The grid must be an exact drop-in for the brute-force distance scan it
+replaced — same arithmetic, same inclusive boundary — and the medium must
+keep it fresh through the two invalidation paths: ``"moved"`` events for
+explicit repositioning and lazy per-timestamp refresh for time-varying
+mobility models.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netsim.medium import RadioProfile, WirelessMedium
+from repro.netsim.mobility import LinearMobility, StaticMobility, is_time_varying
+from repro.netsim.network import Network
+from repro.netsim.node import Node
+from repro.netsim.simulator import Simulator
+from repro.netsim.spatialindex import SpatialHashGrid, points_connected
+from repro.netsim.topology import random_geometric
+from repro.util.geometry import Point
+
+QUIET_RADIO = RadioProfile(name="quiet", bandwidth_bps=1e6, range_m=50.0)
+
+
+class TestSpatialHashGrid:
+    def test_insert_query_remove(self):
+        grid = SpatialHashGrid(10.0)
+        grid.insert("a", 0.0, 0.0)
+        grid.insert("b", 3.0, 4.0)
+        grid.insert("c", 100.0, 100.0)
+        assert len(grid) == 3
+        assert "a" in grid and "missing" not in grid
+        assert sorted(grid.query_circle(0.0, 0.0, 6.0)) == ["a", "b"]
+        grid.remove("b")
+        assert grid.query_circle(0.0, 0.0, 6.0) == ["a"]
+        grid.remove("b")  # idempotent
+        assert len(grid) == 2
+
+    def test_duplicate_insert_rejected(self):
+        grid = SpatialHashGrid(10.0)
+        grid.insert("a", 0.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            grid.insert("a", 5.0, 5.0)
+
+    def test_nonpositive_cell_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SpatialHashGrid(0.0)
+
+    def test_boundary_is_inclusive(self):
+        grid = SpatialHashGrid(5.0)
+        grid.insert("edge", 3.0, 4.0)  # distance exactly 5 from origin
+        assert grid.query_circle(0.0, 0.0, 5.0) == ["edge"]
+
+    def test_move_rebuckets_across_cells(self):
+        grid = SpatialHashGrid(10.0)
+        grid.insert("a", 1.0, 1.0)
+        grid.move("a", 95.0, 95.0)
+        assert grid.query_circle(0.0, 0.0, 10.0) == []
+        assert grid.query_circle(100.0, 100.0, 10.0) == ["a"]
+        assert grid.position_of("a") == (95.0, 95.0)
+
+    def test_move_within_cell_updates_position(self):
+        grid = SpatialHashGrid(10.0)
+        grid.insert("a", 1.0, 1.0)
+        grid.move("a", 2.0, 2.0)
+        assert grid.position_of("a") == (2.0, 2.0)
+        assert grid.query_circle(2.0, 2.0, 0.1) == ["a"]
+
+    def test_negative_coordinates(self):
+        grid = SpatialHashGrid(10.0)
+        grid.insert("neg", -15.0, -15.0)
+        grid.insert("origin", 0.0, 0.0)
+        assert grid.query_circle(-14.0, -14.0, 3.0) == ["neg"]
+
+    def test_query_matches_brute_force_on_random_points(self):
+        rng = random.Random(7)
+        points = {
+            f"p{i}": (rng.uniform(-200, 200), rng.uniform(-200, 200))
+            for i in range(150)
+        }
+        grid = SpatialHashGrid(30.0)
+        for item_id, (x, y) in points.items():
+            grid.insert(item_id, x, y)
+        for _ in range(40):
+            qx, qy = rng.uniform(-220, 220), rng.uniform(-220, 220)
+            radius = rng.uniform(1.0, 80.0)
+            expected = sorted(
+                item_id
+                for item_id, (x, y) in points.items()
+                if math.hypot(x - qx, y - qy) <= radius
+            )
+            assert sorted(grid.query_circle(qx, qy, radius)) == expected
+
+
+class TestPointsConnected:
+    def test_trivial_cases(self):
+        assert points_connected([], 10.0)
+        assert points_connected([(0.0, 0.0)], 10.0)
+        assert points_connected([(0.0, 0.0), (1.0, 1.0)], 0.0) is False
+
+    def test_pair_in_and_out_of_range(self):
+        assert points_connected([(0.0, 0.0), (3.0, 4.0)], 5.0)
+        assert points_connected([(0.0, 0.0), (3.0, 4.0)], 4.99) is False
+
+    def test_chain_connects_through_hops(self):
+        chain = [(float(i * 10), 0.0) for i in range(8)]
+        assert points_connected(chain, 10.0)
+        assert points_connected(chain, 9.0) is False
+
+    def test_matches_brute_force_bfs(self):
+        rng = random.Random(13)
+        for trial in range(30):
+            n = rng.randint(2, 40)
+            points = [
+                (rng.uniform(0, 150), rng.uniform(0, 150)) for _ in range(n)
+            ]
+            radius = rng.uniform(10.0, 80.0)
+            adjacency = {
+                i: [
+                    j for j in range(n)
+                    if j != i
+                    and math.hypot(points[j][0] - points[i][0],
+                                   points[j][1] - points[i][1]) <= radius
+                ]
+                for i in range(n)
+            }
+            seen = {0}
+            stack = [0]
+            while stack:
+                for j in adjacency[stack.pop()]:
+                    if j not in seen:
+                        seen.add(j)
+                        stack.append(j)
+            assert points_connected(points, radius) == (len(seen) == n), (
+                f"trial {trial}: n={n} radius={radius}"
+            )
+
+
+class TestMediumGridIntegration:
+    def test_neighbors_match_brute_force_scan(self):
+        network = random_geometric(60, area=(400.0, 400.0), seed=3,
+                                   require_connected=False)
+        medium = network.medium
+        for origin in network.nodes():
+            expected = [
+                node.node_id
+                for node in network.nodes()
+                if node.node_id != origin.node_id
+                and node.alive
+                and origin.distance_to(node) <= medium.profile.range_m
+            ]
+            actual = [n.node_id for n in medium.neighbors_of(origin.node_id)]
+            assert actual == expected  # same members AND same (attach) order
+
+    def test_set_position_invalidates_grid(self):
+        sim = Simulator()
+        medium = WirelessMedium(sim, QUIET_RADIO)
+        a = Node("a", sim, position=Point(0.0, 0.0))
+        b = Node("b", sim, position=Point(10.0, 0.0))
+        medium.attach(a)
+        medium.attach(b)
+        assert [n.node_id for n in medium.neighbors_of("a")] == ["b"]
+        b.set_position(Point(500.0, 0.0))
+        assert medium.neighbors_of("a") == []
+        b.set_position(Point(20.0, 0.0))
+        assert [n.node_id for n in medium.neighbors_of("a")] == ["b"]
+
+    def test_mobile_node_tracked_as_time_advances(self):
+        sim = Simulator()
+        medium = WirelessMedium(sim, QUIET_RADIO)
+        base = Node("base", sim, position=Point(0.0, 0.0))
+        walker = Node(
+            "walker", sim,
+            mobility=LinearMobility(Point(0.0, 0.0), velocity=(10.0, 0.0)),
+        )
+        medium.attach(base)
+        medium.attach(walker)
+        assert [n.node_id for n in medium.neighbors_of("base")] == ["walker"]
+        sim.run_until(4.0)  # walker at x=40, still in 50 m range
+        assert [n.node_id for n in medium.neighbors_of("base")] == ["walker"]
+        sim.run_until(6.0)  # walker at x=60, out of range
+        assert medium.neighbors_of("base") == []
+
+    def test_set_mobility_swap_updates_tracking(self):
+        sim = Simulator()
+        medium = WirelessMedium(sim, QUIET_RADIO)
+        base = Node("base", sim, position=Point(0.0, 0.0))
+        roamer = Node("roamer", sim, position=Point(10.0, 0.0))
+        medium.attach(base)
+        medium.attach(roamer)
+        assert not is_time_varying(roamer.mobility)
+        roamer.set_mobility(LinearMobility(Point(10.0, 0.0), velocity=(25.0, 0.0)))
+        assert is_time_varying(roamer.mobility)
+        sim.run_until(3.0)  # roamer at x=85, out of 50 m range
+        assert medium.neighbors_of("base") == []
+        # Pinning back to a static point downgrades it out of the mobile set.
+        roamer.set_position(Point(5.0, 0.0))
+        assert not is_time_varying(roamer.mobility)
+        assert [n.node_id for n in medium.neighbors_of("base")] == ["roamer"]
+
+    def test_static_mobility_model_is_not_time_varying(self):
+        assert not is_time_varying(StaticMobility(Point(1.0, 2.0)))
+        assert not is_time_varying(None)
+
+    def test_detach_removes_from_grid(self):
+        sim = Simulator()
+        medium = WirelessMedium(sim, QUIET_RADIO)
+        a = Node("a", sim, position=Point(0.0, 0.0))
+        b = Node("b", sim, position=Point(10.0, 0.0))
+        medium.attach(a)
+        medium.attach(b)
+        medium.detach("b")
+        assert medium.neighbors_of("a") == []
+        # A "moved" event from a detached node must not resurrect it.
+        b.set_position(Point(1.0, 0.0))
+        assert medium.neighbors_of("a") == []
+
+    def test_dead_nodes_filtered_but_stay_in_grid(self):
+        sim = Simulator()
+        medium = WirelessMedium(sim, QUIET_RADIO)
+        a = Node("a", sim, position=Point(0.0, 0.0))
+        b = Node("b", sim, position=Point(10.0, 0.0))
+        medium.attach(a)
+        medium.attach(b)
+        b.crash()
+        assert medium.neighbors_of("a") == []
+        b.recover()
+        assert [n.node_id for n in medium.neighbors_of("a")] == ["b"]
