@@ -2,7 +2,8 @@
 """Run the micro benchmarks and track the perf trajectory in BENCH_micro.json.
 
 This is the repo's perf-regression harness. It runs
-``benchmarks/bench_micro.py`` under pytest-benchmark, reduces each op to
+``benchmarks/bench_micro.py`` and ``benchmarks/bench_obs.py`` under
+pytest-benchmark, reduces each op to
 its median (nanoseconds) and round count, stamps the git sha, and writes
 the result to ``BENCH_micro.json`` at the repo root. When a previous
 BENCH_micro.json exists, the new medians are compared against it first:
@@ -29,7 +30,10 @@ import tempfile
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-BENCH_FILE = Path(__file__).resolve().parent / "bench_micro.py"
+BENCH_FILES = [
+    Path(__file__).resolve().parent / "bench_micro.py",
+    Path(__file__).resolve().parent / "bench_obs.py",
+]
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_micro.json"
 SCHEMA_VERSION = 1
 
@@ -49,7 +53,7 @@ def run_benches(quick: bool) -> dict:
     with tempfile.TemporaryDirectory(prefix="bench-micro-") as tmp:
         raw_path = Path(tmp) / "raw.json"
         cmd = [
-            sys.executable, "-m", "pytest", str(BENCH_FILE), "-q",
+            sys.executable, "-m", "pytest", *(str(f) for f in BENCH_FILES), "-q",
             "--benchmark-json", str(raw_path),
         ]
         if quick:

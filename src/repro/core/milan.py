@@ -35,6 +35,7 @@ from repro.core.plugins import NetworkContext, NetworkPlugin, network_feasible
 from repro.core.policy import ApplicationPolicy
 from repro.core.selection import SetScore, select_best
 from repro.core.sensors import SensorInfo
+from repro.obs.tracing import TRACER
 from repro.util.events import EventEmitter
 
 SensorSet = FrozenSet[str]
@@ -129,6 +130,15 @@ class Milan:
         self.state_machine.advance(readings)
 
     def _on_state_changed(self, old: str, new: str) -> None:
+        if TRACER.enabled:
+            # `src`/`dst` rather than from/to: `from` is a reserved word and
+            # labels are passed as keywords.
+            with TRACER.span("milan.state_transition", src=old, dst=new):
+                self._after_state_change(old, new)
+        else:
+            self._after_state_change(old, new)
+
+    def _after_state_change(self, old: str, new: str) -> None:
         self.events.emit("state_changed", old, new)
         if self.auto_reconfigure:
             self.reconfigure()
@@ -156,6 +166,15 @@ class Milan:
 
     def reconfigure(self) -> Optional[NetworkConfiguration]:
         """Run the full pipeline and apply the result."""
+        if TRACER.enabled:
+            with TRACER.span("milan.reconfigure", state=self.state) as span:
+                configuration = self._run_pipeline()
+                if configuration is not None:
+                    span.set_label(active=len(configuration.active_sensors))
+                return configuration
+        return self._run_pipeline()
+
+    def _run_pipeline(self) -> Optional[NetworkConfiguration]:
         requirements = self.requirements()
         candidates = self.candidate_sets()
         chosen = select_best(
@@ -165,6 +184,8 @@ class Milan:
             # Graceful degradation: best-effort greedy set, even if it
             # cannot fully satisfy the state.
             self.infeasible_rounds += 1
+            if TRACER.enabled:
+                TRACER.instant("milan.infeasible", state=self.state)
             self.events.emit("infeasible", self.state)
             fallback = greedy_feasible_set(
                 list(self.context.sensors.values()), requirements

@@ -24,6 +24,7 @@ from repro.discovery.description import ServiceDescription
 from repro.discovery.matching import Matcher, Query
 from repro.errors import DiscoveryError
 from repro.interop.codec import Codec, get_codec
+from repro.obs.tracing import NOOP_SPAN, TRACER
 from repro.transport.base import Address, Transport
 from repro.util.events import EventEmitter
 from repro.util.ids import IdGenerator
@@ -294,11 +295,21 @@ class RegistryClient:
         The server filters hard constraints; the client re-ranks locally
         with the full consumer QoS (including benefit and spatial terms).
         """
-        promise = self._request({"op": "lookup", "query": query.to_dict()})
+        span: Any = NOOP_SPAN
+        if TRACER.enabled:
+            span = TRACER.span(
+                "discovery.lookup",
+                node=self.transport.local_address.node,
+                service_type=query.service_type,
+            )
+        with TRACER.activate(span):
+            promise = self._request({"op": "lookup", "query": query.to_dict()})
         results: Promise = Promise()
 
         def unpack(settled: Promise) -> None:
             if settled.rejected:
+                span.set_label(outcome="failed")
+                span.finish()
                 results.reject(settled.error())  # type: ignore[arg-type]
                 return
             descriptions = [
@@ -307,6 +318,8 @@ class RegistryClient:
             ]
             matcher = Matcher()
             ranked = matcher.match(descriptions, query)
+            span.set_label(outcome="ok", matches=len(ranked))
+            span.finish()
             results.fulfill([m.description for m in ranked])
 
         promise.on_settle(unpack)

@@ -15,7 +15,7 @@ departure), and final transaction state.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.discovery.description import ServiceDescription
 from repro.discovery.matching import Query
@@ -35,8 +35,29 @@ STREAM_INTERVAL_S = 0.5
 DURATION_S = 40.0
 
 
-def run_one(with_handoff: bool, seed: int = 0) -> Dict[str, Any]:
+def run_one(
+    with_handoff: bool, seed: int = 0, trace_path: Optional[str] = None
+) -> Dict[str, Any]:
     network = topology.star(3, radius=30, seed=seed)
+    if trace_path is not None:
+        from repro.obs.tracing import TRACER
+
+        TRACER.enable(seed=seed, clock=network.sim.clock)
+    try:
+        return _run_one(network, with_handoff, trace_path)
+    finally:
+        if trace_path is not None:
+            from repro.obs.export import chrome_trace, dump_trace
+            from repro.obs.tracing import TRACER
+
+            TRACER.finish_all()
+            dump_trace(chrome_trace(TRACER), trace_path)
+            TRACER.disable()
+
+
+def _run_one(
+    network, with_handoff: bool, trace_path: Optional[str] = None
+) -> Dict[str, Any]:
     fabric = SimFabric(network)
     network.node("leaf0").set_mobility(
         LinearMobility(Point(30, 0), velocity=(SPEED_MPS, 0.0))
@@ -91,3 +112,28 @@ def run_one(with_handoff: bool, seed: int = 0) -> Dict[str, Any]:
 def run(seed: int = 0) -> List[Dict[str, Any]]:
     """The E7b table: the same departure with and without the manager."""
     return [run_one(False, seed), run_one(True, seed)]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.exp_handoff",
+        description="E7b handoff experiment; --trace exports a Chrome trace "
+                    "of the with-handoff run (open it at ui.perfetto.dev).",
+    )
+    parser.add_argument("--trace", metavar="PATH",
+                        help="export a trace of the with-handoff run to PATH")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    if args.trace:
+        result: Any = run_one(True, seed=args.seed, trace_path=args.trace)
+    else:
+        result = run(seed=args.seed)
+    print(json.dumps(result, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

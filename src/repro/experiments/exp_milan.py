@@ -23,7 +23,7 @@ set enumeration cap (the DESIGN.md ablation).
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.core.configurator import NetworkConfiguration
 from repro.core.feasibility import (
@@ -154,6 +154,103 @@ def run(seed: int = 0) -> List[Dict[str, Any]]:
     return rows
 
 
+def run_traced(seed: int = 0, export_path: Optional[str] = None) -> Dict[str, Any]:
+    """A fully traced end-to-end run: MiLAN driving a multi-hop network.
+
+    A four-node chain (``n0 - n1 - n2 - n3``) runs DSR routing; the
+    registry lives on ``n1``, a vitals supplier on ``n3``, and the consumer
+    on ``n0`` streams from it through a continuous transaction while the
+    MiLAN instance cycles application states. With :data:`~repro.obs.
+    tracing.TRACER` enabled for the duration, one run produces causally
+    linked spans from every subsystem — transport, routing, discovery, RPC,
+    transactions, and MiLAN — exportable as Chrome trace JSON.
+    """
+    from repro.discovery.description import ServiceDescription
+    from repro.discovery.matching import Query
+    from repro.discovery.registry import RegistryClient, RegistryServer
+    from repro.netsim import topology
+    from repro.obs.export import chrome_trace, dump_trace, subsystems, validate_chrome_trace
+    from repro.obs.tracing import TRACER
+    from repro.routing.base import build_routed_network
+    from repro.routing.dsr import DsrRouter
+    from repro.transactions.manager import TransactionManager
+    from repro.transactions.rpc import RpcEndpoint
+    from repro.transactions.transaction import TransactionKind, TransactionSpec
+    from repro.transport.simnet import SimFabric
+
+    network = topology.linear_chain(4, spacing=60, seed=seed)
+    TRACER.enable(seed=seed, clock=network.sim.clock)
+    try:
+        fabric = SimFabric(network)
+        agents = build_routed_network(fabric, DsrRouter)
+
+        registry = RegistryServer(agents["n1"].open_port("registry"))
+        registry_address = registry.transport.local_address
+
+        supplier = RpcEndpoint(agents["n3"].open_port("svc"))
+        supplier.expose("read", lambda **kw: {"bp": 120, "hr": 60})
+        RegistryClient(agents["n3"].open_port("reg"), registry_address).register(
+            ServiceDescription("vitals-far", "sensor", "n3:svc"), lease_s=300
+        )
+        network.sim.run_until(1.0)
+
+        milan = _build("milan-balanced", seed)
+
+        consumer = RpcEndpoint(agents["n0"].open_port("svc"))
+        discovery = RegistryClient(agents["n0"].open_port("disc"), registry_address)
+        manager = TransactionManager(consumer, discovery, call_timeout_s=0.5)
+
+        deliveries: List[float] = []
+        promise = manager.establish(
+            Query("sensor"),
+            TransactionSpec(TransactionKind.CONTINUOUS, interval_s=0.5),
+            on_data=lambda value, latency: deliveries.append(network.sim.now()),
+        )
+        for when, state in ((2.0, "exercise"), (4.0, "distress"), (6.0, "rest")):
+            network.sim.schedule_at(when, milan.set_state, state)
+        network.sim.run_until(8.0)
+        transaction = promise.result()
+        manager.stop(transaction)
+        network.sim.run_until(9.0)
+
+        TRACER.finish_all()
+        trace = chrome_trace(TRACER)
+        if export_path is not None:
+            dump_trace(trace, export_path)
+        return {
+            "seed": seed,
+            "spans": len(TRACER.spans),
+            "deliveries": len(deliveries),
+            "final_state": transaction.state.value,
+            "subsystems": sorted(subsystems(trace)),
+            "trace_path": export_path,
+            "valid": not validate_chrome_trace(trace),
+        }
+    finally:
+        TRACER.disable()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.exp_milan",
+        description="E10 MiLAN experiment; --trace runs the instrumented "
+                    "network scenario and exports a Chrome trace.",
+    )
+    parser.add_argument("--trace", metavar="PATH",
+                        help="run the traced scenario, exporting to PATH")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    if args.trace:
+        result = run_traced(seed=args.seed, export_path=args.trace)
+    else:
+        result = run(seed=args.seed)
+    print(json.dumps(result, indent=2))
+    return 0
+
+
 def run_ablation(caps=(4, 32, 256)) -> List[Dict[str, Any]]:
     """Feasible-set enumeration cap: solution quality vs search cost."""
     sensors = fleet()
@@ -173,3 +270,7 @@ def run_ablation(caps=(4, 32, 256)) -> List[Dict[str, Any]]:
             }
         )
     return rows
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,10 +30,12 @@ topic                      payload
 ``milan.infeasible``       {"state": s}
 =========================  =============================================
 
-Every event is also counted into an attached
-:class:`~repro.netsim.trace.MetricsRecorder` (topic -> counter), and can be
-forwarded to a network :class:`~repro.transactions.pubsub.PubSubClient` so
-remote operators observe the system live.
+Every event is counted into the bus's :class:`~repro.obs.metrics.
+MetricsRegistry` (one counter per topic, readable through the compatible
+:class:`~repro.obs.metrics.MetricsRecorder` facade on :attr:`metrics`), and
+can be forwarded to a network
+:class:`~repro.transactions.pubsub.PubSubClient` so remote operators
+observe the system live.
 """
 
 from __future__ import annotations
@@ -44,7 +46,7 @@ from repro.core.milan import Milan
 from repro.discovery.distributed import DistributedDiscovery
 from repro.discovery.registry import RegistryServer
 from repro.netsim.network import Network
-from repro.netsim.trace import MetricsRecorder
+from repro.obs.metrics import MetricsRecorder, MetricsRegistry
 from repro.qos.contract import QoSContract
 from repro.transactions.manager import TransactionManager
 from repro.transactions.pubsub import PubSubClient, topic_matches
@@ -53,15 +55,27 @@ Handler = Callable[[str, Dict[str, Any]], None]
 
 
 class SystemEventBus:
-    """Aggregates component events onto one wildcard-subscribable stream."""
+    """Aggregates component events onto one wildcard-subscribable stream.
+
+    Per-topic counting lives in an :class:`MetricsRegistry` (``registry``;
+    one counter named after each topic). :attr:`metrics` is a recorder
+    bound to that registry, kept for the historical
+    ``bus.metrics.count(topic)`` API.
+    """
 
     def __init__(
         self,
         metrics: Optional[MetricsRecorder] = None,
         forward_to: Optional[PubSubClient] = None,
         forward_prefix: str = "system",
+        registry: Optional[MetricsRegistry] = None,
     ):
-        self.metrics = metrics if metrics is not None else MetricsRecorder()
+        if registry is None:
+            registry = getattr(metrics, "registry", None) or MetricsRegistry()
+        self.registry = registry
+        self.metrics = (
+            metrics if metrics is not None else MetricsRecorder(registry=registry)
+        )
         self.forward_to = forward_to
         self.forward_prefix = forward_prefix
         self._subscribers: List[Tuple[str, Handler]] = []

@@ -17,6 +17,7 @@ makes the unguarded clock assignment in those loops safe.
 from __future__ import annotations
 
 from heapq import heappop
+from time import perf_counter
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
@@ -60,6 +61,16 @@ class Simulator:
         self._clock = ManualClock(start_time)
         self._queue: StablePriorityQueue[Event] = StablePriorityQueue()
         self.events_processed = 0
+        self._profiler: Optional[Any] = None
+
+    def set_profiler(self, profiler: Optional[Any]) -> None:
+        """Install (or remove, with ``None``) an event-loop profiler.
+
+        The profiler's ``add(fn, elapsed_seconds)`` is called after every
+        processed event. Detached (the default), the loops pay a single
+        ``is None`` check per event.
+        """
+        self._profiler = profiler
 
     # ------------------------------------------------------------------ time
 
@@ -128,7 +139,15 @@ class Simulator:
             return False
         self._clock._now = when
         self.events_processed += 1
-        fn(*args)
+        profiler = self._profiler
+        if profiler is None:
+            fn(*args)
+        else:
+            _t0 = perf_counter()
+            try:
+                fn(*args)
+            finally:
+                profiler.add(fn, perf_counter() - _t0)
         return True
 
     def run_until(self, deadline: float) -> None:
@@ -137,6 +156,7 @@ class Simulator:
         heap = queue._heap
         clock = self._clock
         removed = _REMOVED
+        profiler = self._profiler
         while heap:
             entry = heap[0]
             item = entry[2]
@@ -151,7 +171,14 @@ class Simulator:
             queue._live -= 1
             clock._now = when
             self.events_processed += 1
-            item[0](*item[1])
+            if profiler is None:
+                item[0](*item[1])
+            else:
+                _t0 = perf_counter()
+                try:
+                    item[0](*item[1])
+                finally:
+                    profiler.add(item[0], perf_counter() - _t0)
         if deadline > clock._now:
             clock.set(deadline)
 
@@ -169,6 +196,7 @@ class Simulator:
         heap = queue._heap
         clock = self._clock
         removed = _REMOVED
+        profiler = self._profiler
         processed = 0
         while heap:
             entry = heappop(heap)
@@ -179,7 +207,14 @@ class Simulator:
             queue._live -= 1
             clock._now = entry[0]
             self.events_processed += 1
-            item[0](*item[1])
+            if profiler is None:
+                item[0](*item[1])
+            else:
+                _t0 = perf_counter()
+                try:
+                    item[0](*item[1])
+                finally:
+                    profiler.add(item[0], perf_counter() - _t0)
             processed += 1
             if processed > max_events:
                 raise SimulationError(

@@ -1,123 +1,21 @@
-"""Metric collection for experiments.
+"""Metric collection for experiments — compatibility alias.
 
-A :class:`MetricsRecorder` accumulates counters, time-stamped series, and
-duration samples, then renders summary rows for the benchmark harnesses.
-It is substrate-agnostic: anything with a clock can record into it.
+The recorder moved to :mod:`repro.obs.metrics` when the observability
+subsystem landed; this module keeps the historical import path working::
+
+    from repro.netsim.trace import MetricsRecorder, Summary  # still fine
+
+New code should import from :mod:`repro.obs.metrics` directly, where the
+recorder can also be bound to a :class:`~repro.obs.metrics.MetricsRegistry`.
 """
 
 from __future__ import annotations
 
-import math
-from collections import defaultdict
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from repro.obs.metrics import (  # noqa: F401 - re-exported compatibility names
+    MetricsRecorder,
+    SeriesPoint,
+    Summary,
+    _percentile,
+)
 
-from repro.util.clock import Clock
-
-
-@dataclass(frozen=True)
-class SeriesPoint:
-    time: float
-    value: float
-
-
-def _percentile(sorted_values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile on an already-sorted sequence."""
-    if not sorted_values:
-        raise ValueError("percentile of empty sample")
-    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
-    return sorted_values[rank - 1]
-
-
-@dataclass(frozen=True)
-class Summary:
-    """Summary statistics of a sample set."""
-
-    count: int
-    mean: float
-    minimum: float
-    maximum: float
-    p50: float
-    p95: float
-    p99: float
-
-    @staticmethod
-    def of(values: Sequence[float]) -> "Summary":
-        if not values:
-            return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
-        ordered = sorted(values)
-        return Summary(
-            count=len(ordered),
-            mean=sum(ordered) / len(ordered),
-            minimum=ordered[0],
-            maximum=ordered[-1],
-            p50=_percentile(ordered, 50),
-            p95=_percentile(ordered, 95),
-            p99=_percentile(ordered, 99),
-        )
-
-
-class MetricsRecorder:
-    """Counters + time series + samples, keyed by metric name."""
-
-    def __init__(self, clock: Optional[Clock] = None):
-        self._clock = clock
-        self.counters: Dict[str, float] = defaultdict(float)
-        self.series: Dict[str, List[SeriesPoint]] = defaultdict(list)
-        self.samples: Dict[str, List[float]] = defaultdict(list)
-
-    def _now(self) -> float:
-        return self._clock.now() if self._clock is not None else 0.0
-
-    # ------------------------------------------------------------- recording
-
-    def incr(self, name: str, amount: float = 1.0) -> None:
-        self.counters[name] += amount
-
-    def record(self, name: str, value: float) -> None:
-        """Append a time-stamped point to a series (for trend plots)."""
-        self.series[name].append(SeriesPoint(self._now(), value))
-
-    def sample(self, name: str, value: float) -> None:
-        """Append an order-insensitive sample (for latency distributions)."""
-        self.samples[name].append(value)
-
-    # --------------------------------------------------------------- reading
-
-    def count(self, name: str) -> float:
-        return self.counters.get(name, 0.0)
-
-    def summary(self, name: str) -> Summary:
-        return Summary.of(self.samples.get(name, []))
-
-    def last(self, name: str) -> Optional[SeriesPoint]:
-        points = self.series.get(name)
-        return points[-1] if points else None
-
-    def series_values(self, name: str) -> List[Tuple[float, float]]:
-        return [(p.time, p.value) for p in self.series.get(name, [])]
-
-    # ------------------------------------------------------------- reporting
-
-    def table(self) -> List[Tuple[str, str]]:
-        """All metrics as (name, rendered value) rows, sorted by name."""
-        rows: List[Tuple[str, str]] = []
-        for name in sorted(self.counters):
-            rows.append((name, f"{self.counters[name]:g}"))
-        for name in sorted(self.samples):
-            s = self.summary(name)
-            rows.append(
-                (name, f"n={s.count} mean={s.mean:.6g} p50={s.p50:.6g} p95={s.p95:.6g}")
-            )
-        for name in sorted(self.series):
-            last = self.last(name)
-            assert last is not None
-            rows.append((name, f"points={len(self.series[name])} last={last.value:g}"))
-        return rows
-
-    def render(self, title: str = "metrics") -> str:
-        lines = [title, "-" * len(title)]
-        width = max((len(name) for name, _value in self.table()), default=0)
-        for name, value in self.table():
-            lines.append(f"{name:<{width}}  {value}")
-        return "\n".join(lines)
+__all__ = ["MetricsRecorder", "SeriesPoint", "Summary"]

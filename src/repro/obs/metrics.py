@@ -1,0 +1,369 @@
+"""Metrics: counters, gauges, streaming histograms, and the registry.
+
+Naming conventions (see docs/ARCHITECTURE.md "Observability"):
+
+* metric names are dot-separated lowercase (``transport.bytes_sent``,
+  ``route.drops``, ``bus.events``);
+* dimensions go in **labels** (``node=...``, ``topic=...``), never baked
+  into the name;
+* durations are seconds, sizes are bytes.
+
+A :class:`MetricsRegistry` keys instruments by ``(name, labels)``. Getting
+an instrument is get-or-create, so call sites never pre-register.
+
+:class:`Histogram` is a fixed-bucket streaming estimator: geometric bucket
+bounds, O(1) memory, nearest-rank percentiles read from the bucket upper
+edge (clamped to the observed min/max). Good to ~2x relative error at the
+default bucket growth, which is what latency dashboards need; experiments
+wanting exact percentiles keep raw samples via :class:`MetricsRecorder`.
+
+:class:`MetricsRecorder` (previously ``repro.netsim.trace``) lives here now
+and is re-exported from its old home. When bound to a registry it mirrors
+every recording into it — this is how ``SystemEventBus`` per-topic counting
+migrated onto the registry without breaking any existing caller.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.util.clock import Clock
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down; remembers only the latest."""
+
+    __slots__ = ("name", "labels", "value", "updates")
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.updates += 1
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.set(self.value - amount)
+
+
+#: Default histogram bounds: geometric, 1 µs .. ~134 s (factor 2 per bucket).
+DEFAULT_BUCKET_BOUNDS: Tuple[float, ...] = tuple(1e-6 * 2.0**i for i in range(28))
+
+
+class Histogram:
+    """Fixed-bucket streaming distribution with percentile estimates."""
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count",
+                 "total", "minimum", "maximum")
+
+    def __init__(self, name: str, labels: LabelKey,
+                 bounds: Optional[Sequence[float]] = None):
+        self.name = name
+        self.labels = labels
+        self.bounds: Tuple[float, ...] = (
+            tuple(bounds) if bounds is not None else DEFAULT_BUCKET_BOUNDS
+        )
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram bucket bounds must be sorted")
+        # One overflow bucket past the last bound.
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile estimate (bucket upper edge, clamped to the
+        observed [min, max]); 0.0 on an empty histogram."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for i, bucket_count in enumerate(self.bucket_counts):
+            seen += bucket_count
+            if seen >= rank:
+                edge = (self.bounds[i] if i < len(self.bounds) else self.maximum)
+                return min(max(edge, self.minimum), self.maximum)
+        return self.maximum  # pragma: no cover - ranks always land above
+
+    def summary(self) -> Dict[str, float]:
+        if self.count == 0:
+            return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                    "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create instruments keyed by name + labels."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+
+    # ------------------------------------------------------------- accessors
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(name, key[1])
+        return instrument
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(name, key[1])
+        return instrument
+
+    def histogram(self, name: str, _bounds: Optional[Sequence[float]] = None,
+                  **labels: Any) -> Histogram:
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(name, key[1], _bounds)
+        return instrument
+
+    # -------------------------------------------------------------- reading
+
+    def counters(self) -> Iterator[Counter]:
+        for key in sorted(self._counters):
+            yield self._counters[key]
+
+    def gauges(self) -> Iterator[Gauge]:
+        for key in sorted(self._gauges):
+            yield self._gauges[key]
+
+    def histograms(self) -> Iterator[Histogram]:
+        for key in sorted(self._histograms):
+            yield self._histograms[key]
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter across all label sets."""
+        return sum(c.value for (n, _k), c in self._counters.items() if n == name)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "counters": [
+                {"name": c.name, "labels": dict(c.labels), "value": c.value}
+                for c in self.counters()
+            ],
+            "gauges": [
+                {"name": g.name, "labels": dict(g.labels), "value": g.value}
+                for g in self.gauges()
+            ],
+            "histograms": [
+                {"name": h.name, "labels": dict(h.labels), **h.summary()}
+                for h in self.histograms()
+            ],
+        }
+
+    def render(self, title: str = "metrics") -> str:
+        lines = [title, "-" * len(title)]
+
+        def tag(name: str, labels: LabelKey) -> str:
+            if not labels:
+                return name
+            inner = ",".join(f"{k}={v}" for k, v in labels)
+            return f"{name}{{{inner}}}"
+
+        for c in self.counters():
+            lines.append(f"{tag(c.name, c.labels)}  {c.value:g}")
+        for g in self.gauges():
+            lines.append(f"{tag(g.name, g.labels)}  {g.value:g}")
+        for h in self.histograms():
+            s = h.summary()
+            lines.append(
+                f"{tag(h.name, h.labels)}  n={s['count']} mean={s['mean']:.6g} "
+                f"p50={s['p50']:.6g} p95={s['p95']:.6g} p99={s['p99']:.6g}"
+            )
+        return "\n".join(lines)
+
+
+#: Process-wide default registry (components may also own private ones).
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return REGISTRY
+
+
+# --------------------------------------------------------------------------
+# The experiment-facing recorder (moved from repro.netsim.trace).
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    time: float
+    value: float
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile on an already-sorted sequence."""
+    if not sorted_values:
+        raise ValueError("percentile of empty sample")
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Summary statistics of a sample set."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+
+    @staticmethod
+    def of(values: Sequence[float]) -> "Summary":
+        if not values:
+            return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(values)
+        return Summary(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            p50=_percentile(ordered, 50),
+            p95=_percentile(ordered, 95),
+            p99=_percentile(ordered, 99),
+        )
+
+
+class MetricsRecorder:
+    """Counters + time series + samples, keyed by metric name.
+
+    When ``registry`` is given, every recording is mirrored into it:
+    ``incr`` into a counter, ``sample`` into a histogram, ``record`` into a
+    gauge — so legacy recorder call sites feed registry-based dashboards
+    without changing.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None,
+                 registry: Optional[MetricsRegistry] = None):
+        self._clock = clock
+        self.registry = registry
+        self.counters: Dict[str, float] = defaultdict(float)
+        self.series: Dict[str, List[SeriesPoint]] = defaultdict(list)
+        self.samples: Dict[str, List[float]] = defaultdict(list)
+
+    def _now(self) -> float:
+        return self._clock.now() if self._clock is not None else 0.0
+
+    # ------------------------------------------------------------- recording
+
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        self.counters[name] += amount
+        if self.registry is not None:
+            self.registry.counter(name).inc(amount)
+
+    def record(self, name: str, value: float) -> None:
+        """Append a time-stamped point to a series (for trend plots)."""
+        self.series[name].append(SeriesPoint(self._now(), value))
+        if self.registry is not None:
+            self.registry.gauge(name).set(value)
+
+    def sample(self, name: str, value: float) -> None:
+        """Append an order-insensitive sample (for latency distributions)."""
+        self.samples[name].append(value)
+        if self.registry is not None:
+            self.registry.histogram(name).observe(value)
+
+    # --------------------------------------------------------------- reading
+
+    def count(self, name: str) -> float:
+        return self.counters.get(name, 0.0)
+
+    def summary(self, name: str) -> Summary:
+        return Summary.of(self.samples.get(name, []))
+
+    def last(self, name: str) -> Optional[SeriesPoint]:
+        points = self.series.get(name)
+        return points[-1] if points else None
+
+    def series_values(self, name: str) -> List[Tuple[float, float]]:
+        return [(p.time, p.value) for p in self.series.get(name, [])]
+
+    # ------------------------------------------------------------- reporting
+
+    def table(self) -> List[Tuple[str, str]]:
+        """All metrics as (name, rendered value) rows, sorted by name."""
+        rows: List[Tuple[str, str]] = []
+        for name in sorted(self.counters):
+            rows.append((name, f"{self.counters[name]:g}"))
+        for name in sorted(self.samples):
+            s = self.summary(name)
+            rows.append(
+                (name, f"n={s.count} mean={s.mean:.6g} p50={s.p50:.6g} p95={s.p95:.6g}")
+            )
+        for name in sorted(self.series):
+            last = self.last(name)
+            assert last is not None
+            rows.append((name, f"points={len(self.series[name])} last={last.value:g}"))
+        return rows
+
+    def render(self, title: str = "metrics") -> str:
+        lines = [title, "-" * len(title)]
+        width = max((len(name) for name, _value in self.table()), default=0)
+        for name, value in self.table():
+            lines.append(f"{name:<{width}}  {value}")
+        return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Plain-text reporting over exported traces.
+
+Usage::
+
+    python -m repro.obs.report trace.json             # validate + summarize
+    python -m repro.obs.report --validate trace.json  # validate only (CI)
+
+Exits non-zero if the file is not valid Chrome trace-event JSON, so CI can
+gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.export import render_summary, validate_chrome_trace
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("trace", type=Path, help="exported trace JSON file")
+    parser.add_argument("--validate", action="store_true",
+                        help="only validate against the Chrome trace-event "
+                             "schema; print nothing but the verdict")
+    args = parser.parse_args(argv)
+
+    try:
+        trace = json.loads(args.trace.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 1
+
+    errors = validate_chrome_trace(trace)
+    if errors:
+        for error in errors[:20]:
+            print(f"invalid: {error}", file=sys.stderr)
+        if len(errors) > 20:
+            print(f"... and {len(errors) - 20} more", file=sys.stderr)
+        return 1
+
+    event_count = len(trace.get("traceEvents", []))
+    if args.validate:
+        print(f"OK: {args.trace} is valid Chrome trace JSON ({event_count} events)")
+        return 0
+
+    print(render_summary(trace, title=f"{args.trace} ({event_count} events)"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

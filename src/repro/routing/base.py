@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, NoRouteError
 from repro.interop.codec import Codec, get_codec
+from repro.obs.tracing import TRACER, SpanContext
 from repro.transport.base import Address, Scheduler, Transport
 from repro.transport.simnet import BROADCAST_NODE, SimFabric, SimTransport
 from repro.util.ids import SequenceGenerator
@@ -44,6 +45,12 @@ class Envelope:
     seq: int
     payload: bytes
     route: Optional[List[str]] = None  # explicit source route, if any
+    # In-memory only — never serialized into the wire dict. Carries the
+    # originating trace context while an envelope sits in router queues
+    # (e.g. DSR awaiting route discovery).
+    trace_ctx: Optional[SpanContext] = field(
+        default=None, compare=False, repr=False
+    )
 
     def to_dict(self) -> Dict[str, Any]:
         message: Dict[str, Any] = {
@@ -167,18 +174,26 @@ class RoutingAgent:
         )
         self.originated += 1
         self._seen.add((str(envelope.source), envelope.seq))
-        self._move(envelope)
+        if TRACER.enabled:
+            with TRACER.span("route.originate", node=self.node_id,
+                             dest=destination.node, seq=envelope.seq) as span:
+                envelope.trace_ctx = span.context()
+                self._move(envelope)
+        else:
+            self._move(envelope)
 
     def _move(self, envelope: Envelope) -> None:
         """Deliver locally or ask the router where to send next."""
         if envelope.destination.node == self.node_id:
             self.delivered += 1
-            local = self._ports.get(envelope.destination.port)
-            if local is not None and not local.closed:
-                local._dispatch(envelope.source, envelope.payload)
+            if TRACER.enabled:
+                with TRACER.span("route.deliver", parent=envelope.trace_ctx,
+                                 node=self.node_id,
+                                 port=envelope.destination.port,
+                                 hops=self.default_ttl - envelope.ttl):
+                    self._deliver_local(envelope)
             else:
-                # Not a routed port here; maybe a raw fabric endpoint.
-                self.fabric.inject(envelope.destination, envelope.source, envelope.payload)
+                self._deliver_local(envelope)
             return
         if envelope.ttl <= 0:
             self._drop("ttl")
@@ -189,6 +204,14 @@ class RoutingAgent:
             self._follow_source_route(envelope)
             return
         self._apply_disposition(envelope, self.router.route(envelope))
+
+    def _deliver_local(self, envelope: Envelope) -> None:
+        local = self._ports.get(envelope.destination.port)
+        if local is not None and not local.closed:
+            local._dispatch(envelope.source, envelope.payload)
+        else:
+            # Not a routed port here; maybe a raw fabric endpoint.
+            self.fabric.inject(envelope.destination, envelope.source, envelope.payload)
 
     def _apply_disposition(self, envelope: Envelope, disposition: Disposition) -> None:
         action, argument = disposition
@@ -236,9 +259,14 @@ class RoutingAgent:
             envelope.source, envelope.destination, envelope.ttl - 1,
             envelope.seq, envelope.payload, envelope.route,
         )
-        self.endpoint.send(
-            Address(next_hop, ROUTE_PORT), self.codec.encode(out.to_dict())
-        )
+        frame = self.codec.encode(out.to_dict())
+        if TRACER.enabled:
+            with TRACER.span("route.forward", parent=envelope.trace_ctx,
+                             node=self.node_id, next_hop=next_hop,
+                             dest=envelope.destination.node, seq=envelope.seq):
+                self.endpoint.send(Address(next_hop, ROUTE_PORT), frame)
+        else:
+            self.endpoint.send(Address(next_hop, ROUTE_PORT), frame)
 
     def flood(self, envelope: Envelope) -> None:
         """Broadcast an envelope to all neighbors (decrements TTL)."""
@@ -247,7 +275,14 @@ class RoutingAgent:
             envelope.source, envelope.destination, envelope.ttl - 1,
             envelope.seq, envelope.payload, envelope.route,
         )
-        self.endpoint.broadcast(self.codec.encode(out.to_dict()))
+        frame = self.codec.encode(out.to_dict())
+        if TRACER.enabled:
+            with TRACER.span("route.flood", parent=envelope.trace_ctx,
+                             node=self.node_id,
+                             dest=envelope.destination.node, seq=envelope.seq):
+                self.endpoint.broadcast(frame)
+        else:
+            self.endpoint.broadcast(frame)
 
     def send_control(self, destination: Optional[str], message: Dict[str, Any]) -> None:
         """Router control traffic: unicast to a node, or broadcast if None."""
@@ -262,9 +297,18 @@ class RoutingAgent:
     def _on_frame(self, source: Address, payload: bytes) -> None:
         message = self.codec.decode(payload)
         if "c" in message:
-            self.router.handle_control(source, message)
+            if TRACER.enabled:
+                with TRACER.span("route.control", node=self.node_id,
+                                 peer=source.node):
+                    self.router.handle_control(source, message)
+            else:
+                self.router.handle_control(source, message)
             return
         envelope = Envelope.from_dict(message)
+        if TRACER.enabled:
+            # Re-attach the trace context carried in the frame's packet
+            # header (ambient here: we run inside the transport.deliver span).
+            envelope.trace_ctx = TRACER.current_context()
         key = (str(envelope.source), envelope.seq)
         if key in self._seen:
             self._drop("duplicate")
@@ -274,6 +318,8 @@ class RoutingAgent:
 
     def _drop(self, reason: str) -> None:
         self.dropped[reason] = self.dropped.get(reason, 0) + 1
+        if TRACER.enabled:
+            TRACER.instant("route.drop", node=self.node_id, reason=reason)
 
 
 class RoutedTransport(Transport):

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro.obs.tracing import TRACER, Span
 from repro.routing.base import Disposition, Envelope, Router
 from repro.transport.base import Address
 from repro.util.ids import SequenceGenerator
@@ -35,6 +36,7 @@ class DsrRouter(Router):
         self._rreq_seq = SequenceGenerator(1)
         self._seen_rreqs: Set[Tuple[str, int]] = set()
         self._waiting: Dict[str, List[Envelope]] = {}
+        self._discovery_spans: Dict[str, Span] = {}
         self.rreqs_sent = 0
         self.rreps_sent = 0
         self.discovery_failures = 0
@@ -102,6 +104,10 @@ class DsrRouter(Router):
         the dead node and salvage the envelope with a fresh discovery."""
         self.route_errors += 1
         self.purge_hop(next_hop)
+        if TRACER.enabled:
+            TRACER.instant("route.salvage", parent=envelope.trace_ctx,
+                           node=self.node_id, dead_hop=next_hop,
+                           dest=envelope.destination.node)
         return self.route(envelope)
 
     def _enqueue(self, destination: str, envelope: Envelope) -> None:
@@ -114,6 +120,11 @@ class DsrRouter(Router):
         seq = self._rreq_seq.next()
         self._seen_rreqs.add((self.node_id, seq))
         self.rreqs_sent += 1
+        if TRACER.enabled:
+            span = TRACER.span("route.discovery", node=self.node_id,
+                               dest=destination, seq=seq)
+            if isinstance(span, Span):
+                self._discovery_spans[destination] = span
         self.agent.send_control(
             None,
             {"c": "rreq", "o": self.node_id, "q": seq, "d": destination,
@@ -128,6 +139,10 @@ class DsrRouter(Router):
             return
         stranded = self._waiting.pop(destination, [])
         self.discovery_failures += len(stranded)
+        span = self._discovery_spans.pop(destination, None)
+        if span is not None:
+            span.set_label(outcome="timeout", stranded=len(stranded))
+            span.finish()
 
     # --------------------------------------------------------------- control
 
@@ -184,6 +199,10 @@ class DsrRouter(Router):
         route = self._route_cache.get(destination)
         if route is None:
             return
+        span = self._discovery_spans.pop(destination, None)
+        if span is not None:
+            span.set_label(outcome="found", hops=len(route) - 1)
+            span.finish()
         for envelope in self._waiting.pop(destination, []):
             envelope.route = route
             if len(route) > 1:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from repro.netsim.network import Network
 from repro.netsim.packet import HEADER_BYTES
+from repro.obs.metrics import get_registry
 from repro.routing.linkstate import LinkStateRouter
 
 #: Nodes below this residual fraction are penalized as if at the floor,
@@ -63,3 +64,16 @@ class EnergyAwareRouter(LinkStateRouter):
             refresh_interval_s=refresh_interval_s,
         )
         self.alpha = alpha
+
+    def _on_refresh(self) -> None:
+        """Publish the fleet's weakest residual battery on each refresh —
+        the quantity energy-aware routing exists to protect."""
+        residuals = [
+            node.battery.fraction_remaining
+            for node in self.network.nodes()
+            if node.alive
+        ]
+        if residuals:
+            get_registry().gauge(
+                "route.energy.min_residual", node=self.node_id
+            ).set(min(residuals))

@@ -7,11 +7,20 @@ state — the overhead baseline for experiment E5.
 
 from __future__ import annotations
 
+from repro.obs.tracing import TRACER
 from repro.routing.base import Disposition, Envelope, Router
 
 
 class FloodingRouter(Router):
     """Rebroadcast everything not addressed to us."""
 
+    def __init__(self) -> None:
+        self.rebroadcasts = 0
+
     def route(self, envelope: Envelope) -> Disposition:
+        self.rebroadcasts += 1
+        if TRACER.enabled:
+            TRACER.instant("route.flood_decision", parent=envelope.trace_ctx,
+                           node=self.agent.node_id,
+                           dest=envelope.destination.node, ttl=envelope.ttl)
         return ("flood", None)

@@ -18,6 +18,7 @@ import heapq
 from typing import Callable, Dict, Optional, Set, Tuple
 
 from repro.netsim.network import Network
+from repro.obs.tracing import TRACER
 from repro.routing.base import Disposition, Envelope, Router
 
 #: Edge weight: (network, from_node, to_node) -> cost.
@@ -52,10 +53,18 @@ class LinkStateRouter(Router):
     def _current_graph(self) -> Dict[str, Set[str]]:
         now = self.network.sim.now()
         if self._graph is None or now - self._graph_time >= self.refresh_interval_s:
-            self._graph = self.network.adjacency()
+            if TRACER.enabled:
+                with TRACER.span("route.topology_refresh", node=self.node_id):
+                    self._graph = self.network.adjacency()
+            else:
+                self._graph = self.network.adjacency()
             self._graph_time = now
             self._next_hop_cache.clear()
+            self._on_refresh()
         return self._graph
+
+    def _on_refresh(self) -> None:
+        """Hook invoked after each topology refresh (subclass extension)."""
 
     def _compute_next_hop(self, destination: str) -> Optional[str]:
         """Dijkstra from self; returns the first hop toward ``destination``."""

@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Optional, Protocol
 from repro.discovery.description import ServiceDescription
 from repro.discovery.matching import Query
 from repro.errors import ServiceNotFoundError
+from repro.obs.tracing import NOOP_SPAN, TRACER, Span
 from repro.qos.contract import ContractTerms, QoSContract
 from repro.transactions.rpc import RpcEndpoint
 from repro.transactions.transaction import (
@@ -74,6 +75,8 @@ class TransactionManager:
         self._transactions: Dict[str, Transaction] = {}
         self._queries: Dict[str, Query] = {}
         self._consecutive_failures: Dict[str, int] = {}
+        # transaction id -> open root span covering the whole transaction
+        self._txn_spans: Dict[str, Span] = {}
 
     # ------------------------------------------------------------ inspection
 
@@ -100,9 +103,21 @@ class TransactionManager:
         :class:`ServiceNotFoundError` if discovery finds nothing feasible.
         """
         promise: Promise = Promise()
-        self.discovery.lookup(query).on_settle(
-            lambda settled: self._on_lookup(settled, query, spec, on_data, promise)
-        )
+        root: Any = NOOP_SPAN
+        phase: Any = NOOP_SPAN
+        if TRACER.enabled:
+            root = TRACER.span(
+                "txn.transaction",
+                node=self.rpc.transport.local_address.node,
+                service_type=query.service_type,
+            )
+            phase = TRACER.span("txn.establish", parent=root)
+        with TRACER.activate(phase):
+            self.discovery.lookup(query).on_settle(
+                lambda settled: self._on_lookup(
+                    settled, query, spec, on_data, promise, root, phase
+                )
+            )
         return promise
 
     def _on_lookup(
@@ -112,12 +127,22 @@ class TransactionManager:
         spec: TransactionSpec,
         on_data: Optional[DataCallback],
         promise: Promise,
+        root: Any = NOOP_SPAN,
+        phase: Any = NOOP_SPAN,
     ) -> None:
         if settled.rejected:
+            phase.set_label(outcome="lookup-failed")
+            phase.finish()
+            root.set_label(state="failed")
+            root.finish()
             promise.reject(settled.error())  # type: ignore[arg-type]
             return
         results: List[ServiceDescription] = settled.result()
         if not results:
+            phase.set_label(outcome="no-supplier")
+            phase.finish()
+            root.set_label(state="failed")
+            root.finish()
             promise.reject(
                 ServiceNotFoundError(f"no supplier matched {query.service_type!r}")
             )
@@ -135,9 +160,15 @@ class TransactionManager:
         self._transactions[transaction_id] = transaction
         self._queries[transaction_id] = query
         self._consecutive_failures[transaction_id] = 0
+        if isinstance(root, Span):
+            root.set_label(txn=transaction_id, supplier=supplier.service_id)
+            self._txn_spans[transaction_id] = root
+        phase.set_label(outcome="established")
+        phase.finish()
         transaction.transition(TransactionState.ACTIVE)
         self.events.emit("established", transaction)
-        self._start_driving(transaction)
+        with TRACER.activate(root if isinstance(root, Span) else None):
+            self._start_driving(transaction)
         promise.fulfill(transaction)
 
     # --------------------------------------------------------------- driving
@@ -177,15 +208,26 @@ class TransactionManager:
     def _fire(self, transaction: Transaction, complete_after: bool) -> None:
         started = self._now()
         destination = Address.parse(transaction.supplier.provider)
-        call = self.rpc.call(
-            destination,
-            transaction.spec.operation,
-            transaction.spec.params,
-            timeout_s=self.call_timeout_s,
-        )
+        delivery: Any = NOOP_SPAN
+        if TRACER.enabled:
+            delivery = TRACER.span(
+                "txn.delivery",
+                parent=self._txn_spans.get(transaction.transaction_id),
+                node=self.rpc.transport.local_address.node,
+                txn=transaction.transaction_id,
+                operation=transaction.spec.operation,
+                supplier=transaction.supplier.service_id,
+            )
+        with TRACER.activate(delivery):
+            call = self.rpc.call(
+                destination,
+                transaction.spec.operation,
+                transaction.spec.params,
+                timeout_s=self.call_timeout_s,
+            )
         call.on_settle(
             lambda settled: self._on_call_settled(
-                settled, transaction, started, complete_after
+                settled, transaction, started, complete_after, delivery
             )
         )
 
@@ -195,7 +237,10 @@ class TransactionManager:
         transaction: Transaction,
         started: float,
         complete_after: bool,
+        span: Any = NOOP_SPAN,
     ) -> None:
+        span.set_label(status="ok" if settled.fulfilled else "failed")
+        span.finish()
         if transaction.finished:
             return
         if settled.fulfilled:
@@ -233,8 +278,20 @@ class TransactionManager:
         if transaction.state == TransactionState.ACTIVE:
             transaction.transition(TransactionState.SUSPENDED)
 
+        transfer: Any = NOOP_SPAN
+        if TRACER.enabled:
+            transfer = TRACER.span(
+                "txn.transfer",
+                parent=self._txn_spans.get(transaction.transaction_id),
+                node=self.rpc.transport.local_address.node,
+                txn=transaction.transaction_id,
+                old_supplier=transaction.supplier.service_id,
+            )
+
         def on_relookup(settled: Promise) -> None:
             if transaction.finished:
+                transfer.set_label(outcome="already-finished")
+                transfer.finish()
                 return
             candidates: List[ServiceDescription] = (
                 settled.result() if settled.fulfilled else []
@@ -244,9 +301,14 @@ class TransactionManager:
                 if c.service_id != transaction.supplier.service_id
             ]
             if not replacements:
+                transfer.set_label(outcome="aborted")
+                transfer.finish()
                 self._finish(transaction, TransactionState.ABORTED)
                 return
             old_supplier = transaction.supplier.service_id
+            transfer.set_label(outcome="transferred",
+                               new_supplier=replacements[0].service_id)
+            transfer.finish()
             transaction.retarget(replacements[0])
             transaction.transition(TransactionState.TRANSFERRED)
             transaction.transition(TransactionState.ACTIVE)
@@ -257,7 +319,8 @@ class TransactionManager:
             if complete_after or transaction.spec.kind == TransactionKind.ON_DEMAND:
                 self._fire(transaction, complete_after=True)
 
-        self.discovery.lookup(query).on_settle(on_relookup)
+        with TRACER.activate(transfer):
+            self.discovery.lookup(query).on_settle(on_relookup)
 
     # ------------------------------------------------------------- stopping
 
@@ -273,5 +336,9 @@ class TransactionManager:
     def _finish(self, transaction: Transaction, state: TransactionState) -> None:
         transaction.transition(state)
         transaction.completed_at = self._now()
+        root = self._txn_spans.pop(transaction.transaction_id, None)
+        if root is not None:
+            root.set_label(state=str(getattr(state, "value", state)))
+            root.finish()
         event = "completed" if state == TransactionState.COMPLETED else "aborted"
         self.events.emit(event, transaction)

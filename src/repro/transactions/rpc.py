@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, Mapping, Optional
 from repro.errors import RemoteError, RpcError, RpcTimeoutError, SchemaError
 from repro.interop.codec import Codec, get_codec
 from repro.interop.schema import InterfaceSchema
+from repro.obs.tracing import NOOP_SPAN, TRACER
 from repro.transport.base import Address, Transport
 from repro.util.ids import IdGenerator
 from repro.util.promise import Promise
@@ -41,6 +42,7 @@ class _PendingCall:
     retries_left: int
     timeout_s: float
     timer: Any
+    span: Any = NOOP_SPAN  # open rpc.call span; closed when the call settles
 
 
 class RpcEndpoint:
@@ -81,6 +83,16 @@ class RpcEndpoint:
 
     def _serve(self, source: Address, rid: Optional[str], method: str,
                params: Mapping[str, Any]) -> None:
+        if TRACER.enabled:
+            with TRACER.span("rpc.serve",
+                             node=self.transport.local_address.node,
+                             method=method, peer=source.node):
+                self._serve_inner(source, rid, method, params)
+        else:
+            self._serve_inner(source, rid, method, params)
+
+    def _serve_inner(self, source: Address, rid: Optional[str], method: str,
+                     params: Mapping[str, Any]) -> None:
         handler = self._handlers.get(method)
         try:
             if handler is None:
@@ -126,6 +138,11 @@ class RpcEndpoint:
         promise: Promise = Promise()
         timeout = timeout_s if timeout_s is not None else self.default_timeout_s
         pending = _PendingCall(promise, destination, method, params, retries, timeout, None)
+        if TRACER.enabled:
+            pending.span = TRACER.span(
+                "rpc.call", node=self.transport.local_address.node,
+                method=method, peer=destination.node,
+            )
         self._pending[rid] = pending
         self._transmit_call(rid, pending)
         return promise
@@ -143,11 +160,12 @@ class RpcEndpoint:
 
     def _transmit_call(self, rid: str, pending: _PendingCall) -> None:
         self.calls_made += 1
-        self._send(
-            pending.destination,
-            {"op": "call", "rid": rid, "method": pending.method,
-             "params": pending.params},
-        )
+        with TRACER.activate(pending.span):
+            self._send(
+                pending.destination,
+                {"op": "call", "rid": rid, "method": pending.method,
+                 "params": pending.params},
+            )
         pending.timer = self.transport.scheduler.schedule(
             pending.timeout_s, self._on_call_timeout, rid
         )
@@ -162,6 +180,8 @@ class RpcEndpoint:
             return
         del self._pending[rid]
         self.timeouts += 1
+        pending.span.set_label(status="timeout")
+        pending.span.finish()
         pending.promise.reject(
             RpcTimeoutError(
                 f"call {pending.method!r} to {pending.destination} timed out"
@@ -186,6 +206,8 @@ class RpcEndpoint:
                 cancel = getattr(pending.timer, "cancel", None)
                 if cancel is not None:
                     cancel()
+            pending.span.set_label(status="ok" if op == "result" else "error")
+            pending.span.finish()
             if op == "result":
                 pending.promise.fulfill(message.get("value"))
             else:

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional, Protocol
 
 from repro.errors import AddressError, TransportClosedError
+from repro.obs.tracing import TRACER
 
 
 @dataclass(frozen=True, order=True)
@@ -103,7 +104,16 @@ class Transport(abc.ABC):
             )
         self.sent_messages += 1
         self.sent_bytes += len(payload)
-        self._send(destination, bytes(payload))
+        if TRACER.enabled:
+            with TRACER.span(
+                "transport.send",
+                node=self._local.node,
+                layer=type(self).__name__,
+                peer=destination.node,
+            ):
+                self._send(destination, bytes(payload))
+        else:
+            self._send(destination, bytes(payload))
 
     @abc.abstractmethod
     def _send(self, destination: Address, payload: bytes) -> None:

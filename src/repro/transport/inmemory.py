@@ -12,6 +12,7 @@ from typing import Any, Callable, Dict, Optional
 
 from repro.errors import ConfigurationError
 from repro.netsim.simulator import Simulator
+from repro.obs.tracing import TRACER, SpanContext
 from repro.transport.base import Address, Scheduler, Transport
 from repro.util.rng import split_rng
 
@@ -73,18 +74,30 @@ class InMemoryFabric:
         self._endpoints.pop(address, None)
 
     def _transmit(self, source: Address, destination: Address, payload: bytes) -> None:
+        ctx = TRACER.current_context() if TRACER.enabled else None
         if self.loss_probability and self._rng.random() < self.loss_probability:
             self.messages_dropped += 1
+            if ctx is not None:
+                TRACER.instant("transport.loss", parent=ctx,
+                               node=source.node, peer=destination.node)
             return
-        self.sim.schedule(self.latency_s, self._deliver, source, destination, payload)
+        self.sim.schedule(self.latency_s, self._deliver,
+                          source, destination, payload, ctx)
 
-    def _deliver(self, source: Address, destination: Address, payload: bytes) -> None:
+    def _deliver(self, source: Address, destination: Address, payload: bytes,
+                 ctx: Optional[SpanContext] = None) -> None:
         endpoint = self._endpoints.get(destination)
         if endpoint is None or endpoint.closed:
             self.messages_dropped += 1
             return
         self.messages_delivered += 1
-        endpoint._dispatch(source, payload)
+        if TRACER.enabled:
+            with TRACER.span("transport.deliver", parent=ctx,
+                             node=destination.node, port=destination.port,
+                             peer=source.node):
+                endpoint._dispatch(source, payload)
+        else:
+            endpoint._dispatch(source, payload)
 
     def run(self) -> None:
         """Pump all pending virtual-time events (convenience for tests)."""

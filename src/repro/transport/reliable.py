@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError, DeliveryError
+from repro.obs.tracing import TRACER, SpanContext
 from repro.transport.base import Address, Scheduler, Transport
 from repro.transport.simnet import BROADCAST_NODE
 
@@ -77,8 +78,11 @@ class ReliableTransport(Transport):
         self.params = params
         self.on_give_up = on_give_up
         self._next_seq: Dict[Address, int] = {}
-        # (destination, seq) -> (payload, attempt, timer handle)
-        self._pending: Dict[Tuple[Address, int], Tuple[bytes, int, object]] = {}
+        # (destination, seq) -> (payload, attempt, timer handle, trace ctx)
+        self._pending: Dict[
+            Tuple[Address, int],
+            Tuple[bytes, int, object, Optional[SpanContext]],
+        ] = {}
         self._seen: Dict[Address, Set[int]] = {}
         self.retransmissions = 0
         self.duplicates_suppressed = 0
@@ -99,27 +103,39 @@ class ReliableTransport(Transport):
             return
         seq = self._next_seq.get(destination, 1)
         self._next_seq[destination] = seq + 1
-        self._transmit(destination, seq, payload, attempt=0)
+        ctx = TRACER.current_context() if TRACER.enabled else None
+        self._transmit(destination, seq, payload, attempt=0, ctx=ctx)
 
-    def _transmit(self, destination: Address, seq: int, payload: bytes, attempt: int) -> None:
+    def _transmit(self, destination: Address, seq: int, payload: bytes,
+                  attempt: int, ctx: Optional[SpanContext] = None) -> None:
         frame = DATA_FLAG + _SEQ.pack(seq) + payload
-        self.inner.send(destination, frame)
+        if attempt > 0 and TRACER.enabled:
+            with TRACER.span("transport.retransmit", parent=ctx,
+                             node=self._local.node, peer=destination.node,
+                             seq=seq, attempt=attempt):
+                self.inner.send(destination, frame)
+        else:
+            self.inner.send(destination, frame)
         timeout = self.params.timeout_for_attempt(attempt)
         handle = self.scheduler.schedule(timeout, self._on_timeout, destination, seq)
-        self._pending[(destination, seq)] = (payload, attempt, handle)
+        self._pending[(destination, seq)] = (payload, attempt, handle, ctx)
 
     def _on_timeout(self, destination: Address, seq: int) -> None:
         entry = self._pending.pop((destination, seq), None)
         if entry is None:
             return  # acked in the meantime
-        payload, attempt, _handle = entry
+        payload, attempt, _handle, ctx = entry
         if attempt >= self.params.max_retries:
             self.give_ups += 1
+            if TRACER.enabled and ctx is not None:
+                TRACER.instant("transport.give_up", parent=ctx,
+                               node=self._local.node, peer=destination.node,
+                               seq=seq, attempts=attempt + 1)
             if self.on_give_up is not None:
                 self.on_give_up(destination, payload)
             return
         self.retransmissions += 1
-        self._transmit(destination, seq, payload, attempt + 1)
+        self._transmit(destination, seq, payload, attempt + 1, ctx=ctx)
 
     # ------------------------------------------------------------- receiving
 
@@ -132,7 +148,7 @@ class ReliableTransport(Transport):
         if flag == ACK_FLAG:
             entry = self._pending.pop((source, seq), None)
             if entry is not None:
-                _payload, _attempt, handle = entry
+                _payload, _attempt, handle, _ctx = entry
                 cancel = getattr(handle, "cancel", None)
                 if cancel is not None:
                     cancel()
@@ -150,6 +166,9 @@ class ReliableTransport(Transport):
         seen = self._seen.setdefault(source, set())
         if seq in seen:
             self.duplicates_suppressed += 1
+            if TRACER.enabled:
+                TRACER.instant("transport.duplicate",
+                               node=self._local.node, peer=source.node, seq=seq)
             return
         seen.add(seq)
         self._dispatch(source, payload)
@@ -158,7 +177,7 @@ class ReliableTransport(Transport):
 
     def close(self) -> None:
         super().close()
-        for _payload, _attempt, handle in self._pending.values():
+        for _payload, _attempt, handle, _ctx in self._pending.values():
             cancel = getattr(handle, "cancel", None)
             if cancel is not None:
                 cancel()

@@ -21,6 +21,7 @@ from repro.errors import ConfigurationError
 from repro.netsim.network import Network
 from repro.netsim.node import Node
 from repro.netsim.packet import BROADCAST, Packet
+from repro.obs.tracing import TRACER
 from repro.transport.base import Address, Scheduler, Transport
 
 #: Accounted overhead for the port-demux header (bytes).
@@ -88,6 +89,10 @@ class SimFabric:
             payload=(source.port, destination.port, payload),
             payload_bytes=len(payload) + PORT_HEADER_BYTES,
         )
+        if TRACER.enabled:
+            ctx = TRACER.current_context()
+            if ctx is not None:
+                packet.headers["trace"] = ctx
         self.network.send(source.node, packet)
 
     def inject(self, destination: Address, source: Address, payload: bytes) -> None:
@@ -100,7 +105,16 @@ class SimFabric:
         endpoint = self._endpoints.get((destination.node, destination.port))
         if endpoint is None or endpoint.closed:
             return
-        endpoint._dispatch(source, payload)
+        if TRACER.enabled:
+            with TRACER.span(
+                "transport.deliver",
+                node=destination.node,
+                port=destination.port,
+                peer=source.node,
+            ):
+                endpoint._dispatch(source, payload)
+        else:
+            endpoint._dispatch(source, payload)
 
     def _on_packet(self, node: Node, packet: Packet) -> None:
         payload = packet.payload
@@ -110,7 +124,17 @@ class SimFabric:
         endpoint = self._endpoints.get((node.node_id, dest_port))
         if endpoint is None or endpoint.closed:
             return
-        endpoint._dispatch(Address(packet.source, source_port), data)
+        if TRACER.enabled:
+            with TRACER.span(
+                "transport.deliver",
+                parent=packet.headers.get("trace"),
+                node=node.node_id,
+                port=dest_port,
+                peer=packet.source,
+            ):
+                endpoint._dispatch(Address(packet.source, source_port), data)
+        else:
+            endpoint._dispatch(Address(packet.source, source_port), data)
 
     def run(self) -> None:
         """Pump all pending simulator events (convenience for tests)."""

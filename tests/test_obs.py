@@ -1,0 +1,266 @@
+"""Observability subsystem: tracer, metrics registry, exporters, profiler."""
+
+import json
+
+import pytest
+
+from repro.monitoring import SystemEventBus
+from repro.netsim.simulator import Simulator
+from repro.obs import (
+    LoopProfiler,
+    MetricsRecorder,
+    MetricsRegistry,
+    NOOP_SPAN,
+    TRACER,
+    chrome_trace,
+    dump_trace,
+    render_summary,
+    subsystems,
+    validate_chrome_trace,
+)
+from repro.obs.report import main as report_main
+from repro.util.clock import ManualClock
+
+
+@pytest.fixture(autouse=True)
+def _tracer_off():
+    TRACER.disable()
+    yield
+    TRACER.disable()
+
+
+# ------------------------------------------------------------------ tracing
+
+
+def test_disabled_tracer_is_inert():
+    assert not TRACER.enabled
+    span = TRACER.span("transport.send", node="a")
+    assert span is NOOP_SPAN
+    with span:
+        span.set_label(x=1)
+    assert span.context() is None
+    assert TRACER.current_context() is None
+    TRACER.instant("route.drop", reason="ttl")
+    assert TRACER.spans == []
+
+
+def test_ambient_nesting_and_context():
+    clock = ManualClock()
+    TRACER.enable(seed=1, clock=clock)
+    with TRACER.span("txn.transaction", node="a") as root:
+        clock.advance(1.0)
+        assert TRACER.current_context() == root.context()
+        with TRACER.span("rpc.call") as child:
+            clock.advance(1.0)
+            assert child.trace_id == root.trace_id
+            assert child.parent_id == root.span_id
+    assert root.parent_id is None
+    assert root.start == 0.0 and root.end == 2.0
+    assert child.start == 1.0 and child.end == 2.0
+
+
+def test_explicit_parent_tuple_crosses_boundaries():
+    TRACER.enable(seed=1)
+    root = TRACER.span("transport.send", node="a")
+    ctx = root.context()
+    root.finish()
+    child = TRACER.span("transport.deliver", parent=ctx, node="b")
+    child.finish()
+    assert child.trace_id == root.trace_id
+    assert child.parent_id == root.span_id
+
+
+def test_finished_ancestors_extend_to_cover_late_children():
+    clock = ManualClock()
+    TRACER.enable(seed=1, clock=clock)
+    root = TRACER.span("rpc.call", node="a")
+    child = TRACER.span("transport.deliver", parent=root, node="b")
+    root.finish()  # async root closed at t=0
+    clock.advance(5.0)
+    child.finish()  # late child would otherwise escape the parent interval
+    assert child.end == 5.0
+    assert root.end == 5.0
+
+
+def test_deterministic_span_ids():
+    TRACER.enable(seed=7)
+    TRACER.span("a").finish()
+    TRACER.span("b").finish()
+    first = [(s.trace_id, s.span_id) for s in TRACER.spans]
+    TRACER.enable(seed=7)
+    TRACER.span("a").finish()
+    TRACER.span("b").finish()
+    assert [(s.trace_id, s.span_id) for s in TRACER.spans] == first
+    TRACER.enable(seed=8)
+    TRACER.span("a").finish()
+    assert (TRACER.spans[0].trace_id, TRACER.spans[0].span_id) != first[0]
+
+
+def test_exception_labels_error_and_pops_stack():
+    TRACER.enable(seed=1)
+    with pytest.raises(ValueError):
+        with TRACER.span("milan.reconfigure"):
+            raise ValueError("boom")
+    (span,) = TRACER.spans
+    assert span.labels["error"] == "ValueError"
+    assert TRACER.current_context() is None
+
+
+def test_finish_all_closes_open_spans():
+    clock = ManualClock()
+    TRACER.enable(seed=1, clock=clock)
+    outer = TRACER.span("txn.transaction")
+    inner = TRACER.span("rpc.call", parent=outer)
+    clock.advance(3.0)
+    TRACER.finish_all()
+    assert outer.end == 3.0 and inner.end == 3.0
+
+
+# ------------------------------------------------------------------ metrics
+
+
+def test_registry_counters_gauges_histograms():
+    registry = MetricsRegistry()
+    registry.counter("tx.sent", node="a").inc()
+    registry.counter("tx.sent", node="a").inc(2)
+    registry.counter("tx.sent", node="b").inc()
+    assert registry.counter("tx.sent", node="a").value == 3
+    assert registry.counter_total("tx.sent") == 4
+
+    gauge = registry.gauge("battery", node="a")
+    gauge.set(0.5)
+    gauge.inc(0.25)
+    assert gauge.value == 0.75
+
+    hist = registry.histogram("latency")
+    for ms in (1, 2, 3, 4, 100):
+        hist.observe(ms * 1e-3)
+    summary = hist.summary()
+    assert summary["count"] == 5
+    assert summary["min"] <= summary["p50"] <= summary["p95"] <= summary["p99"]
+    assert summary["p99"] <= summary["max"]
+    assert "tx.sent" in registry.render()
+
+
+def test_registry_get_or_create_is_keyed_by_labels():
+    registry = MetricsRegistry()
+    a = registry.counter("c", node="a")
+    assert registry.counter("c", node="a") is a
+    assert registry.counter("c", node="b") is not a
+    assert registry.counter("c") is not a
+
+
+def test_recorder_mirrors_into_registry():
+    registry = MetricsRegistry()
+    recorder = MetricsRecorder(registry=registry)
+    recorder.incr("events", 2)
+    recorder.sample("lat", 0.25)
+    recorder.record("level", 7.0)
+    # Historical dict API intact...
+    assert recorder.count("events") == 2
+    assert recorder.summary("lat").count == 1
+    assert recorder.last("level").value == 7.0
+    # ...and the registry sees the same traffic.
+    assert registry.counter("events").value == 2
+    assert registry.histogram("lat").count == 1
+    assert registry.gauge("level").value == 7.0
+
+
+def test_netsim_trace_compat_alias():
+    from repro.netsim.trace import MetricsRecorder as Aliased
+    from repro.netsim.trace import Summary
+
+    assert Aliased is MetricsRecorder
+    assert Summary.of([1.0, 2.0]).count == 2
+
+
+def test_event_bus_counts_through_registry():
+    bus = SystemEventBus()
+    bus.publish("node.crashed", {"node": "n1"})
+    bus.publish("node.crashed", {"node": "n2"})
+    assert bus.metrics.count("node.crashed") == 2
+    assert bus.registry.counter("node.crashed").value == 2
+
+
+# ------------------------------------------------------------------ export
+
+
+def _sample_trace():
+    clock = ManualClock()
+    TRACER.enable(seed=3, clock=clock)
+    with TRACER.span("transport.send", node="a", peer="b"):
+        clock.advance(0.001)
+        with TRACER.span("route.forward", node="a", next_hop="b"):
+            clock.advance(0.002)
+    TRACER.span("milan.reconfigure", state="rest").finish()
+    return chrome_trace(TRACER)
+
+
+def test_chrome_trace_shape_and_validation(tmp_path):
+    trace = _sample_trace()
+    assert validate_chrome_trace(trace) == []
+    assert subsystems(trace) == {"transport", "route", "milan"}
+    events = trace["traceEvents"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    assert {e["args"]["name"] for e in metadata if e["name"] == "process_name"} == {
+        "a", "system",
+    }
+    xs = [e for e in events if e["ph"] == "X"]
+    send = next(e for e in xs if e["name"] == "transport.send")
+    forward = next(e for e in xs if e["name"] == "route.forward")
+    assert send["ts"] == 0.0 and send["dur"] == pytest.approx(3000.0)
+    assert forward["args"]["parent_id"] == send["args"]["span_id"]
+    assert "trace summary" not in render_summary(trace, title="t")  # custom title
+
+    path = tmp_path / "trace.json"
+    dump_trace(trace, path)
+    assert json.loads(path.read_text()) == json.loads(
+        json.dumps(trace, sort_keys=True)
+    )
+
+
+def test_validator_rejects_malformed_traces():
+    assert validate_chrome_trace([]) != []
+    assert validate_chrome_trace({"traceEvents": [{"ph": "Z", "name": "x"}]}) != []
+    assert validate_chrome_trace(
+        {"traceEvents": [{"ph": "X", "name": "x", "ts": -1, "dur": 0,
+                          "pid": 1, "tid": 1}]}
+    ) != []
+
+
+def test_report_cli(tmp_path, capsys):
+    trace = _sample_trace()
+    path = tmp_path / "trace.json"
+    dump_trace(trace, path)
+    assert report_main([str(path), "--validate"]) == 0
+    assert "OK" in capsys.readouterr().out
+    assert report_main([str(path)]) == 0
+    assert "transport.send" in capsys.readouterr().out
+    bad = tmp_path / "bad.json"
+    bad.write_text("{\"traceEvents\": 5}")
+    assert report_main([str(bad)]) == 1
+
+
+# ----------------------------------------------------------------- profiler
+
+
+def test_loop_profiler_attributes_callbacks():
+    sim = Simulator()
+    profiler = LoopProfiler.attach(sim)
+
+    def tick():
+        pass
+
+    for i in range(5):
+        sim.schedule(0.1 * (i + 1), tick)
+    sim.run()
+    assert profiler.calls == 5
+    (row,) = profiler.rows()
+    assert "tick" in row["callback"]
+    assert row["share"] == pytest.approx(1.0)
+    assert "tick" in profiler.render()
+
+    sim.set_profiler(None)
+    sim.schedule(0.1, tick)
+    sim.run()
+    assert profiler.calls == 5  # detached: no further attribution
