@@ -1,29 +1,33 @@
 #!/usr/bin/env python
 """Run the micro benchmarks and track the perf trajectory in BENCH_micro.json.
 
-This is the repo's perf-regression harness. It runs
-``benchmarks/bench_micro.py`` and ``benchmarks/bench_obs.py`` under
-pytest-benchmark, reduces each op to
+This is the repo's perf-regression harness. It runs the bench files in
+:data:`BENCH_FILES` under pytest-benchmark, reduces each op to
 its median (nanoseconds) and round count, stamps the git sha, and writes
 the result to ``BENCH_micro.json`` at the repo root. When a previous
-BENCH_micro.json exists, the new medians are compared against it first:
-any op slower by more than ``--threshold`` (a ratio; default 1.5x to ride
-out scheduler noise) is reported as a regression and the process exits
-non-zero — but the new numbers are still written, so an intentional
-perf-profile change just needs a second look plus a commit.
+BENCH_micro.json exists (or ``--baseline PATH`` names one), the new
+medians are compared against it first: any op slower by more than
+``--threshold`` (a ratio; default 1.5x to ride out scheduler noise) is
+reported as a regression and the process exits non-zero — but the new
+numbers are still written, so an intentional perf-profile change just
+needs a second look plus a commit.
 
-Medians are only comparable on the same machine. CI therefore runs with
-``--quick --no-compare --output <tmp>`` as a smoke test of the harness and
-the benches themselves; the committed baseline is refreshed manually::
+Medians are only comparable on the same machine, so CI uses a generous
+threshold. ``--jobs N`` runs the bench files as concurrent pytest
+subprocesses via :func:`repro.experiments.sweep.fan_out` — fine for
+smoke/gate runs, but leave it off when refreshing the committed baseline
+(co-scheduled benches contend for cores and inflate medians)::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py            # full run
     PYTHONPATH=src python benchmarks/run_benchmarks.py --quick    # fast, noisier
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --quick --jobs 3
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 import tempfile
@@ -33,6 +37,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_FILES = [
     Path(__file__).resolve().parent / "bench_micro.py",
     Path(__file__).resolve().parent / "bench_obs.py",
+    Path(__file__).resolve().parent / "bench_reconfigure_loop.py",
 ]
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_micro.json"
 SCHEMA_VERSION = 1
@@ -48,12 +53,22 @@ def git_sha() -> str:
         return "unknown"
 
 
-def run_benches(quick: bool) -> dict:
-    """Run bench_micro.py via pytest-benchmark; return op -> stats."""
+def _bench_env() -> dict:
+    env = dict(os.environ)
+    env_path = f"{REPO_ROOT / 'src'}"
+    env["PYTHONPATH"] = (
+        env_path + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH") else env_path
+    )
+    return env
+
+
+def _run_bench_files(files: list, quick: bool) -> dict:
+    """One pytest-benchmark subprocess over ``files``; return op -> stats."""
     with tempfile.TemporaryDirectory(prefix="bench-micro-") as tmp:
         raw_path = Path(tmp) / "raw.json"
         cmd = [
-            sys.executable, "-m", "pytest", *(str(f) for f in BENCH_FILES), "-q",
+            sys.executable, "-m", "pytest", *(str(f) for f in files), "-q",
             "--benchmark-json", str(raw_path),
         ]
         if quick:
@@ -62,14 +77,7 @@ def run_benches(quick: bool) -> dict:
                 "--benchmark-min-rounds", "3",
                 "--benchmark-warmup", "off",
             ]
-        env_path = f"{REPO_ROOT / 'src'}"
-        import os
-        env = dict(os.environ)
-        env["PYTHONPATH"] = (
-            env_path + os.pathsep + env["PYTHONPATH"]
-            if env.get("PYTHONPATH") else env_path
-        )
-        result = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+        result = subprocess.run(cmd, cwd=REPO_ROOT, env=_bench_env())
         if result.returncode != 0:
             raise SystemExit(f"benchmark run failed (pytest exit {result.returncode})")
         raw = json.loads(raw_path.read_text())
@@ -82,8 +90,41 @@ def run_benches(quick: bool) -> dict:
     return ops
 
 
-def compare(previous: dict, current: dict, threshold: float) -> list:
-    """Return [(op, old_ns, new_ns, ratio, regressed)] for shared ops."""
+def run_benches(quick: bool, jobs: int = 1) -> dict:
+    """Run all bench files; return merged op -> stats.
+
+    ``jobs > 1`` gives each bench file its own pytest subprocess, fanned
+    out through the sweep runner's thread pool (threads, because the work
+    happens in the subprocesses). Results merge in BENCH_FILES order, so
+    the output is identical to a serial run modulo timing noise.
+    """
+    if jobs <= 1:
+        return _run_bench_files(BENCH_FILES, quick)
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.experiments.sweep import fan_out
+
+    per_file = fan_out(
+        [[path] for path in BENCH_FILES],
+        lambda files: _run_bench_files(files, quick),
+        max_workers=jobs, use_processes=False,
+    )
+    ops: dict = {}
+    for file_ops in per_file:
+        ops.update(file_ops)
+    return ops
+
+
+def compare(previous: dict, current: dict, threshold: float,
+            normalize_skew: bool = False) -> list:
+    """Return [(op, old_ns, new_ns, ratio, regressed)] for shared ops.
+
+    With ``normalize_skew`` each ratio is divided by the median ratio
+    across all ops before judging: a machine that is uniformly 2x slower
+    than the baseline recorder then shows skew-adjusted ratios near 1.0,
+    and only ops that regressed *relative to the rest of the suite* trip
+    the threshold. This is what makes a committed baseline usable as a CI
+    gate on foreign runners.
+    """
     rows = []
     for op, stats in sorted(current.items()):
         old = previous.get("ops", {}).get(op)
@@ -92,8 +133,15 @@ def compare(previous: dict, current: dict, threshold: float) -> list:
         old_ns = old["median_ns"]
         new_ns = stats["median_ns"]
         ratio = new_ns / old_ns if old_ns else float("inf")
-        rows.append((op, old_ns, new_ns, ratio, ratio > threshold))
-    return rows
+        rows.append((op, old_ns, new_ns, ratio))
+    skew = 1.0
+    if normalize_skew and rows:
+        ratios = sorted(row[3] for row in rows)
+        skew = ratios[len(ratios) // 2] or 1.0
+    return [
+        (op, old_ns, new_ns, ratio, ratio / skew > threshold)
+        for op, old_ns, new_ns, ratio in rows
+    ]
 
 
 def main(argv=None) -> int:
@@ -108,17 +156,32 @@ def main(argv=None) -> int:
     parser.add_argument("--no-compare", action="store_true",
                         help="skip the regression comparison (first baselines, CI "
                              "smoke runs on foreign machines)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="compare against this JSON instead of --output "
+                             "(CI gate: --baseline BENCH_micro.json --output tmp)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="run bench files as N concurrent pytest "
+                             "subprocesses (default 1; keep serial for "
+                             "baseline refreshes)")
+    parser.add_argument("--normalize-skew", action="store_true",
+                        help="divide ratios by the suite-wide median ratio "
+                             "before judging, so a uniformly slower machine "
+                             "does not trip the threshold (CI gates)")
     args = parser.parse_args(argv)
 
     previous = None
-    if args.output.exists():
+    baseline_path = args.baseline if args.baseline is not None else args.output
+    if baseline_path.exists():
         try:
-            previous = json.loads(args.output.read_text())
+            previous = json.loads(baseline_path.read_text())
         except (OSError, json.JSONDecodeError):
-            print(f"warning: could not parse previous {args.output}; "
+            print(f"warning: could not parse baseline {baseline_path}; "
                   "treating as no baseline", file=sys.stderr)
+    elif args.baseline is not None:
+        print(f"warning: baseline {baseline_path} not found; skipping "
+              "comparison", file=sys.stderr)
 
-    ops = run_benches(args.quick)
+    ops = run_benches(args.quick, jobs=args.jobs)
     record = {
         "schema": SCHEMA_VERSION,
         "git_sha": git_sha(),
@@ -129,7 +192,8 @@ def main(argv=None) -> int:
 
     regressed = []
     if previous is not None and not args.no_compare:
-        rows = compare(previous, ops, args.threshold)
+        rows = compare(previous, ops, args.threshold,
+                       normalize_skew=args.normalize_skew)
         print(f"\n{'op':<36} {'old (us)':>12} {'new (us)':>12} {'ratio':>7}")
         for op, old_ns, new_ns, ratio, bad in rows:
             flag = "  REGRESSION" if bad else ""

@@ -47,6 +47,7 @@ from repro.core.plugins import (
     ReachabilityPlugin,
 )
 from repro.core.policy import ApplicationPolicy
+from repro.core.reconfig import FeasibilityCache, ReconfigEngine
 from repro.core.requirements import VariableRequirements
 from repro.core.selection import SelectionStrategy, select_best
 from repro.core.sensors import SensorInfo
@@ -66,6 +67,8 @@ __all__ = [
     "NetworkPlugin",
     "ReachabilityPlugin",
     "ApplicationPolicy",
+    "FeasibilityCache",
+    "ReconfigEngine",
     "VariableRequirements",
     "SelectionStrategy",
     "select_best",

@@ -49,6 +49,25 @@ _EPSILON = 1e-12
 _LOG_MARGIN = 1e-9
 
 
+def sensor_signature(sensor: SensorInfo) -> Tuple:
+    """The enumeration-relevant identity of one sensor.
+
+    Two fleets whose alive sensors carry pairwise-equal signatures (under
+    the same requirements) produce identical candidate enumerations, so
+    this is what :class:`repro.core.reconfig.FeasibilityCache` fingerprints.
+    Remaining energy is deliberately excluded: draining a battery without
+    depleting it cannot change which sets are feasible, only how they
+    score — that is the energy-only fast path. Active power is included
+    because the cached per-set score terms reuse it.
+    """
+    return (sensor.active_power_w, tuple(sorted(sensor.reliabilities.items())))
+
+
+def requirements_signature(requirements: Dict[str, float]) -> Tuple:
+    """Order-insensitive identity of a state's variable requirements."""
+    return tuple(sorted(requirements.items()))
+
+
 def combined_reliability(
     sensors: Sequence[SensorInfo], variable: str
 ) -> float:

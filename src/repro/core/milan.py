@@ -22,7 +22,7 @@ Events (via :attr:`events`): ``"reconfigured"`` (configuration, score),
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.configurator import NetworkConfiguration, configure
 from repro.core.feasibility import (
@@ -33,6 +33,7 @@ from repro.core.feasibility import (
 )
 from repro.core.plugins import NetworkContext, NetworkPlugin, network_feasible
 from repro.core.policy import ApplicationPolicy
+from repro.core.reconfig import ReconfigEngine
 from repro.core.selection import SetScore, select_best
 from repro.core.sensors import SensorInfo
 from repro.obs.tracing import TRACER
@@ -42,7 +43,15 @@ SensorSet = FrozenSet[str]
 
 
 class Milan:
-    """One application's MiLAN instance."""
+    """One application's MiLAN instance.
+
+    ``incremental=True`` (the default) runs the pipeline through a
+    :class:`~repro.core.reconfig.ReconfigEngine`: candidate enumerations
+    are memoized under a structural fingerprint and energy-only updates
+    re-score cached candidates instead of re-enumerating. Results are
+    identical to the uncached path (``incremental=False``), which is kept
+    both as the equivalence oracle and for memory-constrained embeddings.
+    """
 
     def __init__(
         self,
@@ -51,6 +60,7 @@ class Milan:
         context: Optional[NetworkContext] = None,
         elect_master: bool = False,
         auto_reconfigure: bool = True,
+        incremental: bool = True,
     ):
         self.policy = policy
         self.plugins = list(plugins)
@@ -65,6 +75,13 @@ class Milan:
         self.reconfigurations = 0
         self.infeasible_rounds = 0
         self._strategy = policy.selection_strategy()
+        self.engine: Optional[ReconfigEngine] = (
+            ReconfigEngine() if incremental else None
+        )
+        # advance_time's per-tick iteration order, memoized by the identity
+        # of the active-sensor frozenset it was derived from.
+        self._active_sorted: Tuple[str, ...] = ()
+        self._active_sorted_for: Optional[SensorSet] = None
 
     # ------------------------------------------------------------ inspection
 
@@ -96,28 +113,43 @@ class Milan:
     # ---------------------------------------------------------- plug and play
 
     def add_sensor(self, sensor: SensorInfo) -> None:
+        if self.engine is not None:
+            # A re-registration may carry new reliabilities/power; drop any
+            # cached results keyed on the old signature.
+            self.engine.invalidate_sensor(sensor.sensor_id)
         self.context.sensors[sensor.sensor_id] = sensor
         self.events.emit("sensor_added", sensor.sensor_id)
         if self.auto_reconfigure:
             self.reconfigure()
 
     def remove_sensor(self, sensor_id: str) -> None:
+        # Judge "was it active" against the pre-mutation set: the emit below
+        # may run listeners that reconfigure (and thereby rebuild the active
+        # set) before this frame gets to its own check.
+        was_active = sensor_id in self.active_sensor_ids()
         if self.context.sensors.pop(sensor_id, None) is not None:
+            if self.engine is not None:
+                self.engine.invalidate_sensor(sensor_id)
             self.events.emit("sensor_removed", sensor_id)
-            if self.auto_reconfigure and sensor_id in self.active_sensor_ids():
+            if self.auto_reconfigure and was_active:
                 self.reconfigure()
 
     def update_sensor_energy(self, sensor_id: str, energy_j: float) -> None:
-        """Refresh a sensor's energy; reconfigures if it died while active."""
+        """Refresh a sensor's energy; reconfigures if it died while active.
+
+        A non-depleting update is the energy-only fast path: the feasibility
+        fingerprint excludes energy, so the next ``reconfigure()`` reuses
+        the cached candidates and only re-scores them.
+        """
         sensor = self.context.sensors.get(sensor_id)
         if sensor is None:
             return
-        self.context.sensors[sensor_id] = sensor.with_energy(energy_j)
-        if (
-            self.auto_reconfigure
-            and energy_j <= 0.0
-            and sensor_id in self.active_sensor_ids()
-        ):
+        was_active = sensor_id in self.active_sensor_ids()
+        updated = sensor.with_energy(energy_j)
+        self.context.sensors[sensor_id] = updated
+        if updated.depleted and not sensor.depleted and self.engine is not None:
+            self.engine.note_death(sensor_id)
+        if self.auto_reconfigure and energy_j <= 0.0 and was_active:
             self.reconfigure()
 
     # ----------------------------------------------------------------- state
@@ -147,22 +179,48 @@ class Milan:
 
     def candidate_sets(self) -> List[SensorSet]:
         """Steps 1-2: application feasible sets, then network filtering."""
-        requirements = self.requirements()
-        alive = [s for s in self.context.sensors.values() if not s.depleted]
+        return self._candidate_sets(self.requirements())
+
+    def _candidate_sets(self, requirements: Dict[str, float]) -> List[SensorSet]:
+        if self.engine is not None:
+            candidates = self.engine.candidates(
+                self.context.sensors,
+                requirements,
+                self.policy,
+                lambda: self._application_candidates(requirements),
+            )
+        else:
+            candidates = self._application_candidates(requirements)
+        # Plugins judge live network state (reachability, channel load) that
+        # can change without any sensor delta, so filtering is never cached.
+        return network_feasible(candidates, self.plugins, self.context)
+
+    def _application_candidates(
+        self, requirements: Dict[str, float]
+    ) -> List[SensorSet]:
+        """The uncached enumeration — also the engine's miss path.
+
+        The alive fleet is id-sorted so the enumeration is canonical in the
+        fleet's *content*: two fleets that differ only in registration
+        order produce identical candidate lists, which is what lets a
+        cached list stand in for a fresh enumeration byte-for-byte.
+        """
+        alive = sorted(
+            (s for s in self.context.sensors.values() if not s.depleted),
+            key=lambda s: s.sensor_id,
+        )
         if len(alive) <= self.policy.exhaustive_limit:
             minimal = minimal_feasible_sets(alive, requirements)
         else:
             greedy = greedy_feasible_set(alive, requirements)
             minimal = [greedy] if greedy is not None else []
         if self.policy.redundancy > 0 and minimal:
-            candidates = expand_sets(
+            return expand_sets(
                 minimal,
                 [s.sensor_id for s in alive],
                 extra=self.policy.redundancy,
             )
-        else:
-            candidates = list(minimal)
-        return network_feasible(candidates, self.plugins, self.context)
+        return list(minimal)
 
     def reconfigure(self) -> Optional[NetworkConfiguration]:
         """Run the full pipeline and apply the result."""
@@ -176,10 +234,15 @@ class Milan:
 
     def _run_pipeline(self) -> Optional[NetworkConfiguration]:
         requirements = self.requirements()
-        candidates = self.candidate_sets()
-        chosen = select_best(
-            candidates, self.context.sensors, requirements, self._strategy
-        )
+        candidates = self._candidate_sets(requirements)
+        if self.engine is not None:
+            chosen = self.engine.select(
+                candidates, self.context.sensors, requirements, self._strategy
+            )
+        else:
+            chosen = select_best(
+                candidates, self.context.sensors, requirements, self._strategy
+            )
         if chosen is None:
             # Graceful degradation: best-effort greedy set, even if it
             # cannot fully satisfy the state.
@@ -220,14 +283,26 @@ class Milan:
         the auto flag) requires it.
         """
         died: List[str] = []
-        for sensor_id in sorted(self.active_sensor_ids()):
-            sensor = self.context.sensors.get(sensor_id)
+        sensors = self.context.sensors
+        active = self.active_sensor_ids()
+        # One snapshot per configuration, not per tick: the sorted order is
+        # memoized by the identity of the active-set frozenset, so a steady
+        # lifetime loop pays sorted() only when the configuration changes.
+        if active is not self._active_sorted_for:
+            self._active_sorted = tuple(sorted(active))
+            self._active_sorted_for = active
+        for sensor_id in self._active_sorted:
+            sensor = sensors.get(sensor_id)
             if sensor is None or sensor.depleted:
                 continue
             drained = sensor.drained(sensor.active_power_w * dt_s)
-            self.context.sensors[sensor_id] = drained
+            sensors[sensor_id] = drained
             if drained.depleted:
                 died.append(sensor_id)
-        if died and self.auto_reconfigure:
-            self.reconfigure()
+        if died:
+            if self.engine is not None:
+                for sensor_id in died:
+                    self.engine.note_death(sensor_id)
+            if self.auto_reconfigure:
+                self.reconfigure()
         return died

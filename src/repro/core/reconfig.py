@@ -1,0 +1,308 @@
+"""Incremental reconfiguration: feasibility caching + energy-only fast path.
+
+MiLAN "continually monitors" the network: lifetime experiments alternate
+``advance_time`` with ``reconfigure`` in a tight loop, and most of those
+rounds change nothing but residual energy. Energy changes that do not
+deplete a sensor cannot change *which* sets are feasible — feasibility
+depends only on the alive sensors' reliabilities and the state's
+requirements — so re-running the minimal-feasible-set enumeration (the
+slowest micro-bench in BENCH_micro.json) on every round is pure waste.
+
+:class:`FeasibilityCache` memoizes candidate enumerations under a
+structural fingerprint::
+
+    (alive fleet key, requirements signature, exhaustive_limit, redundancy)
+
+where the fleet key is the id-sorted tuple of ``(sensor_id,
+sensor_signature)`` over non-depleted sensors. The fingerprint is
+recomputed on every lookup (cheap: an identity-validated signature memo
+makes it a few dict probes per sensor), so correctness never depends on
+callers announcing changes: a sensor death, removal, addition, or even a
+direct ``context.sensors[sid] = ...`` swap (as the secure binder does)
+lands on a different key and misses. Explicit *delta invalidation*
+(:meth:`ReconfigEngine.invalidate_sensor`, wired into ``add_sensor`` /
+``remove_sensor`` / sensor death) is hygiene on top: it evicts entries
+that can never be hit again and keeps the caches honest about memory.
+
+:class:`ReconfigEngine` adds the scoring half of the fast path: per-set
+``performance`` and ``power`` terms are energy-independent, so they are
+cached per ``(requirements, set)`` and validated against the member
+signatures; only the energy-dependent ``lifetime`` term is recomputed each
+round. A warm energy-only ``reconfigure()`` therefore does no enumeration
+and no reliability products — just a fingerprint probe, plugin filtering,
+one ``min`` per candidate, and the strategy comparison.
+
+Exact equivalence with the uncached path is guaranteed by construction
+(the miss path *is* the uncached code, via the ``compute`` thunk, and the
+cached score terms are the floats that code produced) and asserted by the
+interleaving property test in ``tests/test_feasibility_property.py``.
+
+Cache traffic is visible via :mod:`repro.obs.metrics` counters:
+``milan.feasibility_cache.{hits,misses,invalidations}`` and
+``milan.score_cache.{hits,misses}``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.feasibility import requirements_signature, sensor_signature
+from repro.core.selection import (
+    SelectionStrategy,
+    SetScore,
+    set_lifetime,
+    set_performance,
+    set_power,
+)
+from repro.core.sensors import SensorInfo
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+SensorSet = FrozenSet[str]
+Signature = Tuple
+#: ((sensor_id, signature), ...) over alive sensors, id-sorted.
+FleetKey = Tuple
+CacheKey = Tuple
+
+
+class FeasibilityCache:
+    """LRU memo of application-feasible candidate lists.
+
+    Keys are structural fingerprints (see the module docstring), so stale
+    reads are impossible; ``max_entries`` bounds memory across state/fleet
+    churn. The per-sensor signature memo is validated by *identity* of the
+    (immutable-by-convention) reliabilities mapping plus power equality —
+    ``SensorInfo.with_energy``/``drained`` preserve both, which is exactly
+    what makes the energy-only fingerprint probe cheap. Holding the mapping
+    reference also pins it, so an identity check can never be confused by
+    object-id reuse.
+    """
+
+    def __init__(self, max_entries: int = 256,
+                 registry: Optional[MetricsRegistry] = None):
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[CacheKey, List[SensorSet]]" = OrderedDict()
+        self._signatures: Dict[str, Tuple[Dict[str, float], float, Signature]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        registry = registry if registry is not None else get_registry()
+        self._hits_counter = registry.counter("milan.feasibility_cache.hits")
+        self._misses_counter = registry.counter("milan.feasibility_cache.misses")
+        self._invalidations_counter = registry.counter(
+            "milan.feasibility_cache.invalidations"
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------ signatures
+
+    def signature_of(self, sensor: SensorInfo) -> Signature:
+        cached = self._signatures.get(sensor.sensor_id)
+        if (
+            cached is not None
+            and cached[0] is sensor.reliabilities
+            and cached[1] == sensor.active_power_w
+        ):
+            return cached[2]
+        signature = sensor_signature(sensor)
+        self._signatures[sensor.sensor_id] = (
+            sensor.reliabilities, sensor.active_power_w, signature,
+        )
+        return signature
+
+    def fleet_key(self, sensors: Dict[str, SensorInfo]) -> FleetKey:
+        alive = sorted(
+            (sid, sensor) for sid, sensor in sensors.items()
+            if not sensor.depleted
+        )
+        return tuple((sid, self.signature_of(sensor)) for sid, sensor in alive)
+
+    # ----------------------------------------------------------------- cache
+
+    def lookup(self, key: CacheKey) -> Optional[List[SensorSet]]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            self._misses_counter.inc()
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        self._hits_counter.inc()
+        return entry
+
+    def store(self, key: CacheKey, candidates: List[SensorSet]) -> None:
+        self._entries[key] = candidates
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def invalidate_sensor(self, sensor_id: str) -> int:
+        """Evict the sensor's signature memo and every entry keyed on it.
+
+        Returns the number of candidate lists dropped. Structural keying
+        already guarantees such entries could never be *wrongly* hit; this
+        reclaims their memory the moment they become unreachable.
+        """
+        self._signatures.pop(sensor_id, None)
+        stale = [
+            key for key, _candidates in self._entries.items()
+            if any(sid == sensor_id for sid, _sig in key[0])
+        ]
+        for key in stale:
+            del self._entries[key]
+        if stale:
+            self.invalidations += len(stale)
+            self._invalidations_counter.inc(len(stale))
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._signatures.clear()
+
+
+class ReconfigEngine:
+    """The incremental engine behind ``Milan._run_pipeline``.
+
+    Couples a :class:`FeasibilityCache` with a score-term cache so that a
+    warm reconfigure after an energy-only update skips both the candidate
+    enumeration and the per-set reliability products, recomputing only the
+    lifetime terms the energy update actually moved.
+    """
+
+    def __init__(self, max_feasibility_entries: int = 256,
+                 max_score_entries: int = 4096,
+                 registry: Optional[MetricsRegistry] = None):
+        registry = registry if registry is not None else get_registry()
+        self.feasibility = FeasibilityCache(max_feasibility_entries, registry)
+        self.max_score_entries = max_score_entries
+        #: (requirements signature, sensor_set) ->
+        #: (performance, power_w, member signatures at compute time)
+        self._scores: "OrderedDict[Tuple, Tuple[float, float, Tuple[Signature, ...]]]" = (
+            OrderedDict()
+        )
+        self.score_hits = 0
+        self.score_misses = 0
+        self._score_hits_counter = registry.counter("milan.score_cache.hits")
+        self._score_misses_counter = registry.counter("milan.score_cache.misses")
+
+    # ------------------------------------------------------------ candidates
+
+    def candidates(
+        self,
+        sensors: Dict[str, SensorInfo],
+        requirements: Dict[str, float],
+        policy,
+        compute: Callable[[], List[SensorSet]],
+    ) -> List[SensorSet]:
+        """The memoized application-feasible candidates.
+
+        ``compute`` is the uncached enumeration (Milan's own pipeline
+        code), called only on a fingerprint miss — so the cached result is
+        byte-identical to what the uncached path would have produced.
+        Callers must treat the returned list as immutable.
+        """
+        key = (
+            self.feasibility.fleet_key(sensors),
+            requirements_signature(requirements),
+            policy.exhaustive_limit,
+            policy.redundancy,
+        )
+        cached = self.feasibility.lookup(key)
+        if cached is not None:
+            return cached
+        result = compute()
+        self.feasibility.store(key, result)
+        return result
+
+    # --------------------------------------------------------------- scoring
+
+    def select(
+        self,
+        candidates: Sequence[SensorSet],
+        sensors: Dict[str, SensorInfo],
+        requirements: Dict[str, float],
+        strategy: SelectionStrategy,
+    ) -> Optional[SetScore]:
+        """Score-cached equivalent of :func:`repro.core.selection.select_best`."""
+        if not candidates:
+            return None
+        req_key = requirements_signature(requirements)
+        scores = [
+            self._score(sensor_set, sensors, requirements, req_key)
+            for sensor_set in candidates
+        ]
+        return strategy(scores)
+
+    def _score(
+        self,
+        sensor_set: SensorSet,
+        sensors: Dict[str, SensorInfo],
+        requirements: Dict[str, float],
+        req_key: Tuple,
+    ) -> SetScore:
+        members = [sensors[sid] for sid in sensor_set]
+        # Lifetime is the only energy-dependent term: always fresh.
+        lifetime = set_lifetime(members)
+        member_sigs = tuple(
+            self.feasibility.signature_of(member) for member in members
+        )
+        key = (req_key, sensor_set)
+        cached = self._scores.get(key)
+        if cached is not None and cached[2] == member_sigs:
+            performance, power, _sigs = cached
+            self._scores.move_to_end(key)
+            self.score_hits += 1
+            self._score_hits_counter.inc()
+            return SetScore(sensor_set, lifetime, performance, power)
+        self.score_misses += 1
+        self._score_misses_counter.inc()
+        performance = set_performance(members, requirements)
+        power = set_power(members)
+        self._scores[key] = (performance, power, member_sigs)
+        while len(self._scores) > self.max_score_entries:
+            self._scores.popitem(last=False)
+        return SetScore(sensor_set, lifetime, performance, power)
+
+    # ---------------------------------------------------------- invalidation
+
+    def invalidate_sensor(self, sensor_id: str) -> None:
+        """Delta invalidation: drop everything keyed on ``sensor_id``.
+
+        Wired into ``add_sensor`` (a re-registration may carry new
+        reliabilities), ``remove_sensor``, and sensor death.
+        """
+        self.feasibility.invalidate_sensor(sensor_id)
+        stale = [key for key in self._scores if sensor_id in key[1]]
+        for key in stale:
+            del self._scores[key]
+
+    def note_death(self, sensor_id: str) -> None:
+        """A battery hit zero: the alive set shrank, evict its entries."""
+        self.invalidate_sensor(sensor_id)
+
+    def clear(self) -> None:
+        self.feasibility.clear()
+        self._scores.clear()
+
+    # ------------------------------------------------------------ inspection
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "feasibility_hits": self.feasibility.hits,
+            "feasibility_misses": self.feasibility.misses,
+            "feasibility_invalidations": self.feasibility.invalidations,
+            "feasibility_entries": len(self.feasibility),
+            "score_hits": self.score_hits,
+            "score_misses": self.score_misses,
+            "score_entries": len(self._scores),
+        }

@@ -46,23 +46,44 @@ class SetScore:
     power_w: float
 
 
+def set_lifetime(members: Sequence[SensorInfo]) -> float:
+    """Time until the first member dies (inf for an empty/mains-only set).
+
+    The only score term that depends on remaining energy — the incremental
+    engine (:mod:`repro.core.reconfig`) recomputes it fresh every round
+    while reusing the energy-independent terms below.
+    """
+    return min((m.lifetime_if_active() for m in members), default=float("inf"))
+
+
+def set_performance(
+    members: Sequence[SensorInfo], requirements: Dict[str, float]
+) -> float:
+    """Mean achieved reliability over required variables (1.0 when none)."""
+    if requirements:
+        return sum(
+            combined_reliability(members, variable) for variable in requirements
+        ) / len(requirements)
+    return 1.0
+
+
+def set_power(members: Sequence[SensorInfo]) -> float:
+    """Total active power draw of the set."""
+    return sum(m.active_power_w for m in members)
+
+
 def score_set(
     sensor_set: SensorSet,
     sensors: Dict[str, SensorInfo],
     requirements: Dict[str, float],
 ) -> SetScore:
     members = [sensors[sid] for sid in sensor_set]
-    lifetime = min(
-        (m.lifetime_if_active() for m in members), default=float("inf")
+    return SetScore(
+        sensor_set,
+        set_lifetime(members),
+        set_performance(members, requirements),
+        set_power(members),
     )
-    if requirements:
-        performance = sum(
-            combined_reliability(members, variable) for variable in requirements
-        ) / len(requirements)
-    else:
-        performance = 1.0
-    power = sum(m.active_power_w for m in members)
-    return SetScore(sensor_set, lifetime, performance, power)
 
 
 #: A strategy maps a list of scores to the chosen one.

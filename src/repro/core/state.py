@@ -45,13 +45,19 @@ class StateMachine:
         self.current = initial
         self.events = EventEmitter()
         self._transitions: List[Transition] = []
+        # Transitions indexed by source (registration order preserved):
+        # advance() runs on every observe() in the reconfigure loop, so it
+        # should only scan the current state's outgoing edges.
+        self._by_source: Dict[str, List[Transition]] = {}
         self.transitions_taken = 0
 
     def add_transition(self, source: str, target: str, predicate: Predicate) -> None:
         for state in (source, target):
             if state not in self.states:
                 raise ConfigurationError(f"unknown state {state!r}")
-        self._transitions.append(Transition(source, target, predicate))
+        transition = Transition(source, target, predicate)
+        self._transitions.append(transition)
+        self._by_source.setdefault(source, []).append(transition)
 
     def force(self, state: str) -> None:
         """Jump directly to a state (application override)."""
@@ -65,9 +71,7 @@ class StateMachine:
     def advance(self, readings: Dict[str, Any]) -> Optional[Tuple[str, str]]:
         """Evaluate transitions against the readings; returns (old, new) if
         a transition fired, else None."""
-        for transition in self._transitions:
-            if transition.source != self.current:
-                continue
+        for transition in self._by_source.get(self.current, ()):
             if transition.predicate(readings):
                 old = self.current
                 self.force(transition.target)

@@ -6,6 +6,8 @@ Usage::
     python -m repro.experiments milan        # run one, print its table(s)
     python -m repro.experiments figure1 discovery
     python -m repro.experiments all          # everything (several minutes)
+    python -m repro.experiments sweep milan --seeds 0-3 --workers 4
+                                             # seed sweep across processes
 """
 
 from __future__ import annotations
@@ -14,6 +16,7 @@ import sys
 from typing import Callable, Dict, List, Tuple
 
 from repro.experiments import format_table
+from repro.experiments.common import parse_seeds
 from repro.experiments import (
     exp_adaptation,
     exp_degradation,
@@ -61,8 +64,66 @@ EXPERIMENTS: Dict[str, List[Tuple[str, Callable[[], list]]]] = {
 }
 
 
+def sweep_main(argv: List[str]) -> int:
+    """``sweep`` subcommand: experiments x seeds over a process pool."""
+    import argparse
+    import json
+
+    from repro.experiments import sweep
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments sweep",
+        description="Fan (experiment, seed) jobs across worker processes; "
+                    "results merge in deterministic grid order.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="sweepable experiment names (empty: list them)")
+    parser.add_argument("--seeds", default="0",
+                        help='seed spec: "0-3", "1,5,9", or a single value')
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool size (default: cpu count)")
+    parser.add_argument("--serial", action="store_true",
+                        help="run in-process, no pool (debugging)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write raw outcomes as JSON")
+    args = parser.parse_args(argv)
+    if not args.experiments:
+        parser.print_usage()
+        print("available sweepables:")
+        for name in sorted(sweep.SWEEPABLE):
+            print(f"  {name}")
+        return 0
+    try:
+        seeds = parse_seeds(args.seeds)
+        outcomes = sweep.run_sweep(
+            args.experiments, seeds,
+            max_workers=1 if args.serial else args.workers,
+            on_result=lambda job, outcome: print(
+                f"done {job[0]} seed={job[1]} "
+                f"({outcome['wall_s']:.2f}s, pid {outcome['pid']})",
+                file=sys.stderr),
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(outcomes, handle, indent=2, default=str)
+        print(f"wrote {args.json}", file=sys.stderr)
+    title = (f"sweep: {' '.join(args.experiments)} x seeds {args.seeds} "
+             f"({len(outcomes)} jobs)")
+    print(format_table(sweep.merged_rows(outcomes), title))
+    failures = [o for o in outcomes if o["error"] is not None]
+    for outcome in failures:
+        print(f"FAILED {outcome['experiment']} seed={outcome['seed']}: "
+              f"{outcome['error']}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def main(argv: List[str]) -> int:
     names = argv[1:]
+    if names and names[0] == "sweep":
+        return sweep_main(names[1:])
     if not names:
         print(__doc__)
         print("available experiments:")

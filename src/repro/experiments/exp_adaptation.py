@@ -13,11 +13,14 @@ fraction of total time the application QoS was satisfied.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.core.milan import Milan
 from repro.core.policy import health_monitor_policy
 from repro.core.sensors import SensorInfo
+
+#: Sweep axis: seed n runs the script in application state n mod 3.
+SWEEP_STATES = ("rest", "exercise", "distress")
 
 #: (time, event, sensor) script: a living deployment.
 SCRIPT = [
@@ -38,8 +41,15 @@ DURATION_S = 40.0
 TICK_S = 0.1
 
 
-def run(state: str = "rest") -> List[Dict[str, Any]]:
-    """Event log: per join/leave, whether QoS held and reconfig latency."""
+def run(state: Optional[str] = None, seed: int = 0) -> List[Dict[str, Any]]:
+    """Event log: per join/leave, whether QoS held and reconfig latency.
+
+    ``state=None`` derives the application state from ``seed`` (see
+    :data:`SWEEP_STATES`), so a seed sweep covers the whole QoS ladder;
+    the defaults reproduce the historical ``state="rest"`` run.
+    """
+    if state is None:
+        state = SWEEP_STATES[seed % len(SWEEP_STATES)]
     milan = Milan(health_monitor_policy())
     milan.set_state(state)
     script = sorted(SCRIPT, key=lambda entry: entry[0])

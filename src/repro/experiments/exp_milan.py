@@ -128,6 +128,8 @@ def run_one(policy_name: str, seed: int = 0) -> Dict[str, Any]:
             surplus_samples.append(surplus)
         milan.advance_time(STEP_S)
         elapsed += STEP_S
+    stats = milan.engine.stats() if milan.engine is not None else {}
+    lookups = stats.get("feasibility_hits", 0) + stats.get("feasibility_misses", 0)
     return {
         "policy": policy_name,
         "lifetime_s": elapsed,
@@ -136,6 +138,9 @@ def run_one(policy_name: str, seed: int = 0) -> Dict[str, Any]:
             if surplus_samples else 0.0
         ),
         "reconfigurations": milan.reconfigurations,
+        "cache_hit_rate": (
+            round(stats["feasibility_hits"] / lookups, 3) if lookups else 0.0
+        ),
     }
 
 

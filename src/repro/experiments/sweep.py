@@ -1,0 +1,210 @@
+"""Multiprocess experiment sweep runner.
+
+The experiment harnesses are single-threaded simulations, so sweeping a
+grid of (experiment, seed) configurations is embarrassingly parallel.
+:func:`run_sweep` fans the jobs across a ``ProcessPoolExecutor`` and
+merges the outcomes **deterministically**: results are returned in
+(experiment order, seed order) submission order no matter which worker
+finishes first, so a sweep's output — and anything derived from it — is
+byte-identical between serial and parallel runs.
+
+CLI::
+
+    python -m repro.experiments sweep                 # list sweepables
+    python -m repro.experiments sweep milan --seeds 0-3 --workers 4
+    python -m repro.experiments sweep milan adaptation --seeds 0,2,5 --json out.json
+
+Only (experiment-name, seed) pairs cross the process boundary; each worker
+re-resolves the callable from :data:`SWEEPABLE` in its own interpreter, so
+registry entries need not be picklable. :func:`fan_out` is the generic
+pool primitive (processes or threads, order-preserving) that
+``benchmarks/run_benchmarks.py --jobs N`` reuses to parallelize the bench
+files.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+SweepJob = Tuple[str, int]
+SweepOutcome = Dict[str, Any]
+
+
+# --------------------------------------------------------------------------
+# The sweepable registry: name -> callable(seed) -> result rows.
+# Workers look names up here inside the child process.
+# --------------------------------------------------------------------------
+
+
+def _milan(seed: int) -> List[Dict[str, Any]]:
+    from repro.experiments import exp_milan
+
+    return exp_milan.run(seed=seed)
+
+
+def _adaptation(seed: int) -> List[Dict[str, Any]]:
+    from repro.experiments import exp_adaptation
+
+    return exp_adaptation.run(seed=seed)
+
+
+def _figure1(seed: int) -> List[Dict[str, Any]]:
+    from repro.experiments import exp_figure1
+
+    return exp_figure1.run(seed=seed)
+
+
+def _discovery(seed: int) -> List[Dict[str, Any]]:
+    from repro.experiments import exp_discovery
+
+    return exp_discovery.run(seed=seed)
+
+
+def _routing(seed: int) -> List[Dict[str, Any]]:
+    from repro.experiments import exp_routing
+
+    return exp_routing.run(seed=seed)
+
+
+def _spatial(seed: int) -> List[Dict[str, Any]]:
+    from repro.experiments import exp_spatial
+
+    return exp_spatial.run(seed=seed)
+
+
+def _selftest(seed: int) -> List[Dict[str, Any]]:
+    """Harness self-test: instant, deterministic, exercises the merge path."""
+    return [{"seed": seed, "square": seed * seed}]
+
+
+SWEEPABLE: Dict[str, Callable[[int], List[Dict[str, Any]]]] = {
+    "milan": _milan,
+    "adaptation": _adaptation,
+    "figure1": _figure1,
+    "discovery": _discovery,
+    "routing": _routing,
+    "spatial": _spatial,
+    "selftest": _selftest,
+}
+
+
+# --------------------------------------------------------------------------
+# Generic fan-out
+# --------------------------------------------------------------------------
+
+
+def fan_out(
+    jobs: Sequence[Any],
+    worker: Callable[[Any], Any],
+    max_workers: Optional[int] = None,
+    use_processes: bool = True,
+    on_result: Optional[Callable[[Any, Any], None]] = None,
+) -> List[Any]:
+    """Run ``worker`` over ``jobs`` concurrently; results in job order.
+
+    ``max_workers <= 1`` runs serially in-process (no pool, debuggable,
+    exceptions propagate). With processes, ``worker`` must be a
+    module-level callable (pickled by reference); with threads
+    (``use_processes=False``) any callable works — right for workers that
+    mostly wait on subprocesses. ``on_result(job, result)`` fires as each
+    job completes (completion order, progress reporting only).
+    """
+    if max_workers is not None and max_workers <= 1:
+        results = []
+        for job in jobs:
+            result = worker(job)
+            if on_result is not None:
+                on_result(job, result)
+            results.append(result)
+        return results
+    pool_class = ProcessPoolExecutor if use_processes else ThreadPoolExecutor
+    results: List[Any] = [None] * len(jobs)
+    with pool_class(max_workers=max_workers) as pool:
+        index_of = {pool.submit(worker, job): i for i, job in enumerate(jobs)}
+        for future in as_completed(index_of):
+            i = index_of[future]
+            results[i] = future.result()
+            if on_result is not None:
+                on_result(jobs[i], results[i])
+    return results
+
+
+# --------------------------------------------------------------------------
+# The sweep itself
+# --------------------------------------------------------------------------
+
+
+def _run_job(job: SweepJob) -> SweepOutcome:
+    """Worker body: run one (experiment, seed) configuration.
+
+    Failures are captured into the outcome rather than raised, so one bad
+    configuration cannot tear down the pool or perturb the deterministic
+    merge of the others.
+    """
+    name, seed = job
+    started = time.perf_counter()
+    try:
+        rows = SWEEPABLE[name](seed)
+        error = None
+    except Exception as exc:  # noqa: BLE001 - reported per-job, not fatal
+        rows = []
+        error = f"{type(exc).__name__}: {exc}"
+    return {
+        "experiment": name,
+        "seed": seed,
+        "rows": rows,
+        "error": error,
+        "wall_s": round(time.perf_counter() - started, 6),
+        "pid": os.getpid(),
+    }
+
+
+def run_sweep(
+    experiments: Sequence[str],
+    seeds: Sequence[int],
+    max_workers: Optional[int] = None,
+    use_processes: bool = True,
+    on_result: Optional[Callable[[SweepJob, SweepOutcome], None]] = None,
+) -> List[SweepOutcome]:
+    """Fan experiments x seeds across a process pool; merge deterministically.
+
+    The outcome list is ordered by (position in ``experiments``, position
+    in ``seeds``) — the submission grid — regardless of worker completion
+    order, so a sweep is reproducible and diffable across worker counts.
+    """
+    unknown = sorted(set(experiments) - set(SWEEPABLE))
+    if unknown:
+        raise ValueError(
+            f"unknown sweepable(s) {unknown}; available: {sorted(SWEEPABLE)}"
+        )
+    jobs: List[SweepJob] = [
+        (name, seed) for name in experiments for seed in seeds
+    ]
+    return fan_out(
+        jobs, _run_job, max_workers=max_workers,
+        use_processes=use_processes, on_result=on_result,
+    )
+
+
+def merged_rows(outcomes: Sequence[SweepOutcome]) -> List[Dict[str, Any]]:
+    """Flatten outcomes into one row list, tagging experiment and seed.
+
+    Failed jobs contribute a single error row so they stay visible in the
+    merged table instead of silently shrinking it.
+    """
+    rows: List[Dict[str, Any]] = []
+    for outcome in outcomes:
+        prefix = {"experiment": outcome["experiment"], "seed": outcome["seed"]}
+        if outcome["error"] is not None:
+            rows.append({**prefix, "error": outcome["error"]})
+            continue
+        for row in outcome["rows"]:
+            rows.append({**prefix, **row})
+    return rows

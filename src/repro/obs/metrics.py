@@ -196,6 +196,17 @@ class MetricsRegistry:
         """Sum of a counter across all label sets."""
         return sum(c.value for (n, _k), c in self._counters.items() if n == name)
 
+    def reset(self) -> None:
+        """Drop every instrument (benches/tests isolating the process-wide
+        registry between measured scenarios).
+
+        Call sites holding an instrument reference keep incrementing their
+        orphaned copy; re-fetch after a reset to land in the registry again.
+        """
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "counters": [

@@ -14,6 +14,9 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.feasibility import minimal_feasible_sets, satisfies
 from repro.core.feasibility_reference import minimal_feasible_sets_reference
+from repro.core.milan import Milan
+from repro.core.policy import ApplicationPolicy
+from repro.core.requirements import VariableRequirements
 from repro.core.sensors import SensorInfo
 
 VARIABLES = ["v0", "v1", "v2", "v3"]
@@ -75,6 +78,88 @@ class TestBitmaskMatchesReference:
             for removed in feasible:
                 smaller = [by_id[i] for i in feasible if i != removed]
                 assert not satisfies(smaller, requirements)
+
+
+def _twin_policy() -> ApplicationPolicy:
+    requirements = (
+        VariableRequirements()
+        .require("lo", "v0", 0.7)
+        .require("lo", "v1", 0.6)
+        .require("hi", "v0", 0.9)
+        .require("hi", "v1", 0.85)
+        .require("hi", "v2", 0.8)
+    )
+    return ApplicationPolicy(
+        "twin", requirements, initial_state="lo", selection="balanced"
+    )
+
+
+_twin_measures = st.dictionaries(
+    st.sampled_from(["v0", "v1", "v2"]),
+    st.floats(min_value=0.05, max_value=0.999),
+    min_size=1, max_size=3,
+)
+
+#: One runtime mutation. Sensor ids are drawn from an 8-slot namespace so
+#: adds collide with (re-register over) earlier sensors, removes and energy
+#: updates hit both existing and missing ids, and ticks can deplete the
+#: small-battery sensors mid-run.
+_twin_op = st.one_of(
+    st.tuples(st.just("add"), st.integers(0, 7), _twin_measures,
+              st.sampled_from([0.0, 0.5, 2.0, 50.0])),
+    st.tuples(st.just("remove"), st.integers(0, 7)),
+    st.tuples(st.just("energy"), st.integers(0, 7),
+              st.sampled_from([0.0, 0.1, 1.0, 25.0])),
+    st.tuples(st.just("state"), st.sampled_from(["lo", "hi"])),
+    st.tuples(st.just("tick"), st.sampled_from([1.0, 30.0, 400.0])),
+)
+
+
+def _twin_apply(milan: Milan, op) -> None:
+    kind = op[0]
+    if kind == "add":
+        _kind, slot, measures, energy = op
+        milan.add_sensor(SensorInfo(f"s{slot}", measures,
+                                    active_power_w=0.01, energy_j=energy))
+    elif kind == "remove":
+        milan.remove_sensor(f"s{op[1]}")
+    elif kind == "energy":
+        milan.update_sensor_energy(f"s{op[1]}", op[2])
+    elif kind == "state":
+        milan.set_state(op[1])
+    else:
+        milan.advance_time(op[1])
+
+
+class TestIncrementalEngineMatchesUncached:
+    """The reconfiguration engine is invisible: under any interleaving of
+    adds, removes, energy updates, state changes, and time, the incremental
+    Milan must track the uncached one exactly — same candidates (also
+    checked against the O(2^n) reference), same chosen set, same scores."""
+
+    @given(st.lists(_twin_op, min_size=1, max_size=24))
+    @settings(max_examples=60, deadline=None)
+    def test_interleavings(self, ops):
+        cached = Milan(_twin_policy(), incremental=True)
+        plain = Milan(_twin_policy(), incremental=False)
+        assert cached.engine is not None and plain.engine is None
+        for op in ops:
+            _twin_apply(cached, op)
+            _twin_apply(plain, op)
+            cached.reconfigure()
+            plain.reconfigure()
+            assert cached.active_sensor_ids() == plain.active_sensor_ids()
+            assert cached.current_score == plain.current_score
+            assert cached.current_configuration == plain.current_configuration
+            candidates = cached.candidate_sets()
+            assert candidates == plain.candidate_sets()
+            alive = sorted(
+                (s for s in cached.sensors.values() if not s.depleted),
+                key=lambda s: s.sensor_id,
+            )
+            assert candidates == minimal_feasible_sets_reference(
+                alive, cached.requirements()
+            )
 
 
 def test_seeded_sweep_matches_reference():

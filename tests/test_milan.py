@@ -458,6 +458,52 @@ class TestMilanRuntime:
         assert run_lifetime(all_on=False) > 1.5 * run_lifetime(all_on=True)
 
 
+class TestMilanReentrancy:
+    """Mutators must judge "was it active" against the pre-mutation set.
+
+    ``remove_sensor`` emits ``sensor_removed`` before its own
+    was-it-active bookkeeping runs; a listener that reconfigures rebuilds
+    the active set mid-frame, and an after-the-fact membership check would
+    then (wrongly) conclude the removed sensor was never active.
+    """
+
+    def build(self):
+        milan = Milan(health_monitor_policy())
+        for sensor in fleet():
+            milan.add_sensor(sensor)
+        return milan
+
+    def test_remove_reconfigures_despite_reentrant_listener(self):
+        milan = self.build()
+        milan.events.on("sensor_removed", lambda sid: milan.reconfigure())
+        victim = sorted(milan.active_sensor_ids())[0]
+        before = milan.reconfigurations
+        milan.remove_sensor(victim)
+        # Both the listener's reconfigure AND the removal's own must run.
+        assert milan.reconfigurations == before + 2
+        assert victim not in milan.active_sensor_ids()
+        assert milan.application_satisfied()
+
+    def test_energy_death_of_idle_sensor_does_not_reconfigure(self):
+        milan = self.build()
+        idle = sorted(set(milan.sensors) - set(milan.active_sensor_ids()))[0]
+        before = milan.reconfigurations
+        milan.update_sensor_energy(idle, 0.0)
+        assert milan.reconfigurations == before
+        assert milan.sensors[idle].depleted
+
+    def test_advance_time_reuses_sorted_snapshot(self):
+        milan = self.build()
+        milan.advance_time(0.01)
+        snapshot = milan._active_sorted
+        for _ in range(3):
+            milan.advance_time(0.01)  # same configuration: no re-sort
+        assert milan._active_sorted is snapshot
+        milan.reconfigure()  # new configuration object: snapshot refreshes
+        milan.advance_time(0.01)
+        assert milan._active_sorted == tuple(sorted(milan.active_sensor_ids()))
+
+
 class TestPolicy:
     def test_policy_validates_initial_state(self):
         with pytest.raises(ConfigurationError):

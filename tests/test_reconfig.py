@@ -1,0 +1,224 @@
+"""Tests for the incremental reconfiguration engine.
+
+Covers the structural-fingerprint feasibility cache (hits on energy-only
+deltas, misses on structural ones), delta invalidation, the score cache,
+metrics visibility, the ``incremental=False`` escape hatch, and the
+binder-style direct-swap hazard the identity-validated signatures exist
+for.
+"""
+
+import pytest
+
+from repro.core.milan import Milan
+from repro.core.policy import ApplicationPolicy, health_monitor_policy
+from repro.core.reconfig import FeasibilityCache, ReconfigEngine
+from repro.core.requirements import VariableRequirements
+from repro.core.sensors import SensorInfo
+from repro.obs.metrics import get_registry
+
+
+def fleet():
+    return [
+        SensorInfo("bp-cuff", {"blood_pressure": 0.95}, 0.02, 10.0),
+        SensorInfo("bp-wrist", {"blood_pressure": 0.75}, 0.008, 10.0),
+        SensorInfo("ecg", {"heart_rate": 0.95, "blood_pressure": 0.3}, 0.03, 12.0),
+        SensorInfo("ppg", {"heart_rate": 0.8, "oxygen_saturation": 0.9}, 0.01, 8.0),
+        SensorInfo("spo2", {"oxygen_saturation": 0.85}, 0.012, 9.0),
+        SensorInfo("hr-strap", {"heart_rate": 0.85}, 0.006, 6.0),
+    ]
+
+
+def build(**kwargs):
+    milan = Milan(health_monitor_policy(), **kwargs)
+    for sensor in fleet():
+        milan.add_sensor(sensor)
+    return milan
+
+
+class TestFeasibilityCacheFastPath:
+    def test_energy_only_update_hits(self):
+        milan = build()
+        hits_before = milan.engine.feasibility.hits
+        milan.update_sensor_energy("spo2", 8.9)  # non-depleting drain
+        milan.reconfigure()
+        assert milan.engine.feasibility.hits > hits_before
+
+    def test_advance_time_tick_hits(self):
+        milan = build()
+        milan.reconfigure()
+        hits_before = milan.engine.feasibility.hits
+        misses_before = milan.engine.feasibility.misses
+        for _ in range(5):
+            milan.advance_time(0.01)  # nobody depletes
+            milan.reconfigure()
+        assert milan.engine.feasibility.misses == misses_before
+        assert milan.engine.feasibility.hits >= hits_before + 5
+
+    def test_state_change_misses_then_warms(self):
+        milan = build()
+        misses_before = milan.engine.feasibility.misses
+        milan.set_state("distress")
+        assert milan.engine.feasibility.misses == misses_before + 1
+        milan.set_state("rest")  # rest entry is still cached
+        assert milan.engine.feasibility.misses == misses_before + 1
+
+    def test_score_cache_hits_on_warm_rounds(self):
+        milan = build()
+        milan.reconfigure()
+        misses_before = milan.engine.score_misses
+        milan.update_sensor_energy("spo2", 8.5)
+        milan.reconfigure()
+        assert milan.engine.score_misses == misses_before
+        assert milan.engine.score_hits > 0
+
+
+class TestInvalidation:
+    def test_death_invalidates_and_misses(self):
+        milan = build()
+        milan.reconfigure()
+        victim = sorted(milan.active_sensor_ids())[0]
+        misses_before = milan.engine.feasibility.misses
+        milan.update_sensor_energy(victim, 0.0)
+        assert milan.engine.feasibility.invalidations > 0
+        # The death's own reconfigure ran against the shrunken fleet: miss.
+        assert milan.engine.feasibility.misses > misses_before
+
+    def test_remove_drops_entries(self):
+        milan = build()
+        milan.reconfigure()
+        assert len(milan.engine.feasibility) > 0
+        for sensor_id in list(milan.sensors):
+            milan.remove_sensor(sensor_id)
+        # At most the final empty-fleet entry survives; every entry keyed
+        # on a removed sensor is gone.
+        assert len(milan.engine.feasibility) <= 1
+
+    def test_advance_time_death_invalidates(self):
+        milan = build()
+        milan.reconfigure()
+        weakest = min(
+            (milan.sensors[sid] for sid in milan.active_sensor_ids()),
+            key=lambda s: s.lifetime_if_active(),
+        )
+        milan.advance_time(weakest.lifetime_if_active() + 1.0)
+        assert weakest.sensor_id not in milan.active_sensor_ids()
+        assert milan.engine.feasibility.invalidations > 0
+
+    def test_clear_empties_everything(self):
+        milan = build()
+        milan.set_state("distress")
+        milan.set_state("rest")
+        milan.reconfigure()
+        assert milan.engine.stats()["feasibility_entries"] > 0
+        milan.engine.clear()
+        stats = milan.engine.stats()
+        assert stats["feasibility_entries"] == 0
+        assert stats["score_entries"] == 0
+
+
+class TestMetricsVisibility:
+    def test_counters_reach_process_registry(self):
+        registry = get_registry()
+        registry.reset()
+        milan = build()  # engine built after reset: fresh counters
+        milan.update_sensor_energy("spo2", 8.9)
+        milan.reconfigure()
+        assert registry.counter_total("milan.feasibility_cache.hits") > 0
+        assert registry.counter_total("milan.feasibility_cache.misses") > 0
+        milan.remove_sensor("spo2")
+        assert registry.counter_total("milan.feasibility_cache.invalidations") > 0
+
+    def test_stats_shape(self):
+        milan = build()
+        stats = milan.engine.stats()
+        for key in ("feasibility_hits", "feasibility_misses",
+                    "feasibility_invalidations", "feasibility_entries",
+                    "score_hits", "score_misses", "score_entries"):
+            assert key in stats
+
+
+class TestNonIncremental:
+    def test_engine_disabled(self):
+        milan = build(incremental=False)
+        assert milan.engine is None
+        milan.reconfigure()
+        assert milan.application_satisfied()
+
+    def test_identical_behavior(self):
+        cached, plain = build(), build(incremental=False)
+        for action in (
+            lambda m: m.set_state("distress"),
+            lambda m: m.update_sensor_energy("ecg", 6.0),
+            lambda m: m.set_state("rest"),
+            lambda m: m.remove_sensor("hr-strap"),
+            lambda m: m.update_sensor_energy("ppg", 0.0),
+        ):
+            action(cached)
+            action(plain)
+            assert cached.active_sensor_ids() == plain.active_sensor_ids()
+            assert cached.current_score == plain.current_score
+
+
+class TestDirectSwapHazard:
+    def test_binder_style_swap_is_picked_up(self):
+        # The secure binder replaces sensors directly in context.sensors,
+        # bypassing add_sensor and its invalidation hook. The structural
+        # fingerprint must still notice the changed reliabilities.
+        milan = build()
+        milan.reconfigure()
+        old = milan.sensors["bp-wrist"]
+        milan.context.sensors["bp-wrist"] = SensorInfo(
+            "bp-wrist", {"blood_pressure": 0.1}, old.active_power_w, old.energy_j
+        )
+        milan.reconfigure()
+        fresh = build(incremental=False)
+        fresh.context.sensors["bp-wrist"] = SensorInfo(
+            "bp-wrist", {"blood_pressure": 0.1}, old.active_power_w, old.energy_j
+        )
+        fresh.reconfigure()
+        assert milan.active_sensor_ids() == fresh.active_sensor_ids()
+        assert milan.current_score == fresh.current_score
+
+
+class TestFeasibilityCacheUnit:
+    def test_lru_bounds_entries(self):
+        cache = FeasibilityCache(max_entries=2)
+        sensors = {s.sensor_id: s for s in fleet()}
+        base = cache.fleet_key(sensors)
+        for i in range(4):
+            cache.store((base, ("req", i)), [])
+        assert len(cache) == 2
+
+    def test_signature_memo_revalidates_on_swap(self):
+        cache = FeasibilityCache()
+        a = SensorInfo("s", {"v": 0.9}, 0.01, 5.0)
+        sig_a = cache.signature_of(a)
+        assert cache.signature_of(a.with_energy(4.0)) is sig_a  # identity hit
+        b = SensorInfo("s", {"v": 0.2}, 0.01, 5.0)
+        assert cache.signature_of(b) != sig_a
+
+    def test_invalidate_reports_dropped_count(self):
+        cache = FeasibilityCache()
+        sensors = {s.sensor_id: s for s in fleet()}
+        key = (cache.fleet_key(sensors), ("req",), 16, 0)
+        cache.store(key, [frozenset(["ecg"])])
+        assert cache.invalidate_sensor("ecg") == 1
+        assert cache.lookup(key) is None
+
+    def test_exhaustive_limit_keys_are_distinct(self):
+        # Same fleet + requirements under different policy knobs must not
+        # share cache entries.
+        reqs = (VariableRequirements()
+                .require("run", "blood_pressure", 0.7)
+                .require("run", "heart_rate", 0.6))
+        small = ApplicationPolicy("p", reqs, "run", exhaustive_limit=1)
+        big = ApplicationPolicy("p", reqs, "run", exhaustive_limit=16)
+        engine = ReconfigEngine()
+        sensors = {s.sensor_id: s for s in fleet()}
+        requirements = reqs.for_state("run")
+        first = engine.candidates(sensors, requirements, small,
+                                  lambda: [frozenset(["a"])])
+        second = engine.candidates(sensors, requirements, big,
+                                   lambda: [frozenset(["b"])])
+        assert first != second
+        assert engine.feasibility.misses == 2

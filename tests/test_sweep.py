@@ -1,0 +1,105 @@
+"""Tests for the multiprocess sweep runner and its seed-spec parsing."""
+
+import pytest
+
+from repro.experiments.common import parse_seeds
+from repro.experiments.sweep import (
+    SWEEPABLE,
+    fan_out,
+    merged_rows,
+    run_sweep,
+)
+
+
+class TestParseSeeds:
+    def test_range(self):
+        assert parse_seeds("0-3") == [0, 1, 2, 3]
+
+    def test_comma_list(self):
+        assert parse_seeds("1,5,9") == [1, 5, 9]
+
+    def test_single(self):
+        assert parse_seeds("7") == [7]
+
+    def test_mixed_groups(self):
+        assert parse_seeds("0-2,9,20-21") == [0, 1, 2, 9, 20, 21]
+
+    def test_negative_singleton(self):
+        assert parse_seeds("-3") == [-3]
+
+    def test_duplicates_dropped_order_kept(self):
+        assert parse_seeds("2,0-3,2") == [2, 0, 1, 3]
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            parse_seeds("5-2")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError):
+            parse_seeds(",")
+
+
+class TestFanOut:
+    def test_serial_matches_pool_order(self):
+        jobs = list(range(8))
+        serial = fan_out(jobs, _double, max_workers=1)
+        pooled = fan_out(jobs, _double, max_workers=3, use_processes=True)
+        threaded = fan_out(jobs, _double, max_workers=3, use_processes=False)
+        assert serial == pooled == threaded == [j * 2 for j in jobs]
+
+    def test_on_result_sees_every_job(self):
+        seen = []
+        fan_out([1, 2, 3], _double, max_workers=1,
+                on_result=lambda job, result: seen.append((job, result)))
+        assert sorted(seen) == [(1, 2), (2, 4), (3, 6)]
+
+
+class TestRunSweep:
+    def test_deterministic_merge_across_worker_counts(self):
+        seeds = [3, 0, 7, 1]
+        serial = run_sweep(["selftest"], seeds, max_workers=1)
+        pooled = run_sweep(["selftest"], seeds, max_workers=2)
+        strip = lambda o: {k: v for k, v in o.items()
+                           if k not in ("wall_s", "pid")}
+        assert [strip(o) for o in serial] == [strip(o) for o in pooled]
+        assert [o["seed"] for o in pooled] == seeds  # submission order
+
+    def test_grid_order(self):
+        outcomes = run_sweep(["selftest", "selftest"], [0, 1], max_workers=1)
+        assert [(o["experiment"], o["seed"]) for o in outcomes] == [
+            ("selftest", 0), ("selftest", 1), ("selftest", 0), ("selftest", 1),
+        ]
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweepable"):
+            run_sweep(["no-such-thing"], [0])
+
+    def test_worker_failure_is_captured(self, monkeypatch):
+        from repro.experiments import sweep
+
+        monkeypatch.setitem(SWEEPABLE, "boom", _boom)
+        outcomes = sweep.run_sweep(["boom", "selftest"], [0], max_workers=1)
+        assert outcomes[0]["error"] == "RuntimeError: seed 0 exploded"
+        assert outcomes[0]["rows"] == []
+        assert outcomes[1]["error"] is None
+
+    def test_merged_rows_tags_and_keeps_errors(self):
+        outcomes = [
+            {"experiment": "a", "seed": 0, "rows": [{"x": 1}, {"x": 2}],
+             "error": None},
+            {"experiment": "b", "seed": 1, "rows": [], "error": "Boom: no"},
+        ]
+        rows = merged_rows(outcomes)
+        assert rows == [
+            {"experiment": "a", "seed": 0, "x": 1},
+            {"experiment": "a", "seed": 0, "x": 2},
+            {"experiment": "b", "seed": 1, "error": "Boom: no"},
+        ]
+
+
+def _double(job):
+    return job * 2
+
+
+def _boom(seed):
+    raise RuntimeError(f"seed {seed} exploded")
