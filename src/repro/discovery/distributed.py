@@ -21,8 +21,8 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.discovery.description import ServiceDescription
 from repro.discovery.matching import Matcher, Query
-from repro.errors import ConfigurationError
-from repro.interop.codec import Codec, get_codec
+from repro.errors import ConfigurationError, MiddlewareError
+from repro.interop.codec import Codec, get_codec, try_decode_dict
 from repro.transport.base import Address
 from repro.transport.simnet import SimTransport
 from repro.util.events import EventEmitter
@@ -93,6 +93,7 @@ class DistributedDiscovery:
         self.messages_sent: Dict[str, int] = {
             "advert": 0, "query": 0, "reply": 0, "withdraw": 0,
         }
+        self.malformed_frames = 0
         transport.set_receiver(self._on_message)
         self._advert_timer = transport.scheduler.schedule(
             self.advertise_interval_s, self._periodic_advertise
@@ -206,16 +207,25 @@ class DistributedDiscovery:
     # -------------------------------------------------------------- receiving
 
     def _on_message(self, source: Address, payload: bytes) -> None:
-        message = self.codec.decode(payload)
-        op = message.get("op")
-        if op == "advert":
-            self._on_advert(message)
-        elif op == "withdraw":
-            self._on_withdraw(message)
-        elif op == "query":
-            self._on_query(source, message)
-        elif op == "reply":
-            self._on_reply(message)
+        message = try_decode_dict(self.codec, payload)
+        if message is None:
+            self.malformed_frames += 1
+            return
+        try:
+            op = message.get("op")
+            if op == "advert":
+                self._on_advert(message)
+            elif op == "withdraw":
+                self._on_withdraw(message)
+            elif op == "query":
+                self._on_query(source, message)
+            elif op == "reply":
+                self._on_reply(message)
+        except (KeyError, TypeError, ValueError, AttributeError, MiddlewareError):
+            # A corrupted frame can decode to a dict with mangled keys,
+            # field types, or out-of-range values; treat it like any other
+            # malformed frame.
+            self.malformed_frames += 1
 
     def _on_withdraw(self, message: Dict[str, Any]) -> None:
         key = (message["origin"], message["seq"])

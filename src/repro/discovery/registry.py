@@ -22,8 +22,8 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.discovery.description import ServiceDescription
 from repro.discovery.matching import Matcher, Query
-from repro.errors import DiscoveryError
-from repro.interop.codec import Codec, get_codec
+from repro.errors import DiscoveryError, MiddlewareError
+from repro.interop.codec import Codec, get_codec, try_decode_dict
 from repro.obs.tracing import NOOP_SPAN, TRACER
 from repro.transport.base import Address, Transport
 from repro.util.events import EventEmitter
@@ -64,6 +64,7 @@ class RegistryServer:
         self.lookups_served = 0
         self.registrations_accepted = 0
         self.replications_sent = 0
+        self.malformed_frames = 0
         transport.set_receiver(self._on_message)
         self._sweep_interval = sweep_interval_s
         self._schedule_sweep()
@@ -98,19 +99,26 @@ class RegistryServer:
     # -------------------------------------------------------------- protocol
 
     def _on_message(self, source: Address, payload: bytes) -> None:
-        message = self.codec.decode(payload)
-        op = message.get("op")
-        rid = message.get("rid")
-        if op == "register":
-            self._handle_register(source, rid, message)
-        elif op == "renew":
-            self._handle_renew(source, rid, message)
-        elif op == "unregister":
-            self._handle_unregister(source, rid, message)
-        elif op == "lookup":
-            self._handle_lookup(source, rid, message)
-        # Unknown ops are dropped: forward compatibility over loud failure
-        # at a network boundary.
+        message = try_decode_dict(self.codec, payload)
+        if message is None:
+            self.malformed_frames += 1
+            return
+        try:
+            op = message.get("op")
+            rid = message.get("rid")
+            if op == "register":
+                self._handle_register(source, rid, message)
+            elif op == "renew":
+                self._handle_renew(source, rid, message)
+            elif op == "unregister":
+                self._handle_unregister(source, rid, message)
+            elif op == "lookup":
+                self._handle_lookup(source, rid, message)
+            # Unknown ops are dropped: forward compatibility over loud
+            # failure at a network boundary.
+        except (KeyError, TypeError, ValueError, AttributeError, MiddlewareError):
+            # Decodable but mangled (corrupted keys/values/field types): drop.
+            self.malformed_frames += 1
 
     def _reply(self, destination: Address, message: Dict[str, Any]) -> None:
         self.transport.send(destination, self.codec.encode(message))
@@ -208,6 +216,7 @@ class RegistryClient:
         self._pending: Dict[str, Tuple[Promise, bytes, int]] = {}
         self.timeouts = 0
         self.retransmissions = 0
+        self.malformed_frames = 0
         self._auto_renew: Dict[str, float] = {}  # service_id -> lease_s
         transport.set_receiver(self._on_message)
 
@@ -239,8 +248,14 @@ class RegistryClient:
         promise.reject(DiscoveryError(f"registry request {rid} timed out"))
 
     def _on_message(self, source: Address, payload: bytes) -> None:
-        message = self.codec.decode(payload)
-        entry = self._pending.pop(message.get("rid"), None)
+        message = try_decode_dict(self.codec, payload)
+        if message is None:
+            self.malformed_frames += 1
+            return
+        rid = message.get("rid")
+        if not isinstance(rid, str):
+            return
+        entry = self._pending.pop(rid, None)
         if entry is None:
             return
         promise, _encoded, _retries = entry

@@ -19,6 +19,7 @@ from repro.experiments import format_table
 from repro.experiments.common import parse_seeds
 from repro.experiments import (
     exp_adaptation,
+    exp_chaos,
     exp_degradation,
     exp_discovery,
     exp_figure1,
@@ -56,6 +57,7 @@ EXPERIMENTS: Dict[str, List[Tuple[str, Callable[[], list]]]] = {
         ("E10 ablation: feasible-set cap", exp_milan.run_ablation),
     ],
     "adaptation": [("E11: plug-and-play adaptation", exp_adaptation.run)],
+    "chaos": [("E13: chaos campaign resilience scorecards", exp_chaos.run)],
     "netindep": [
         ("E12: network independence", exp_netindep.run),
         ("E12 ablation: retransmission policy",
@@ -132,6 +134,11 @@ def main(argv: List[str]) -> int:
         return 0
     if names == ["all"]:
         names = sorted(EXPERIMENTS)
+    # Accept module-style names too: "exp_chaos" -> "chaos".
+    names = [
+        n[4:] if n.startswith("exp_") and n[4:] in EXPERIMENTS else n
+        for n in names
+    ]
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {unknown}; "

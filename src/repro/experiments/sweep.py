@@ -79,6 +79,12 @@ def _spatial(seed: int) -> List[Dict[str, Any]]:
     return exp_spatial.run(seed=seed)
 
 
+def _chaos(seed: int) -> List[Dict[str, Any]]:
+    from repro.experiments import exp_chaos
+
+    return exp_chaos.run(seed=seed)
+
+
 def _selftest(seed: int) -> List[Dict[str, Any]]:
     """Harness self-test: instant, deterministic, exercises the merge path."""
     return [{"seed": seed, "square": seed * seed}]
@@ -91,6 +97,7 @@ SWEEPABLE: Dict[str, Callable[[int], List[Dict[str, Any]]]] = {
     "discovery": _discovery,
     "routing": _routing,
     "spatial": _spatial,
+    "chaos": _chaos,
     "selftest": _selftest,
 }
 

@@ -21,7 +21,7 @@ import json
 import struct
 from typing import Any, Dict, Protocol, runtime_checkable
 
-from repro.errors import CodecError
+from repro.errors import CodecError, InteropError
 from repro.interop import sml
 
 _F64 = struct.Struct(">d")
@@ -323,3 +323,17 @@ def get_codec(name: str) -> Codec:
         raise CodecError(
             f"unknown codec {name!r}; available: {sorted(_CODECS)}"
         ) from None
+
+
+def try_decode_dict(codec: Codec, payload: bytes) -> "Dict[str, Any] | None":
+    """Decode a frame expected to hold a message dict; ``None`` if malformed.
+
+    Receive paths use this so corrupted or truncated frames (chaos
+    injection, buggy peers) are counted and dropped by the caller instead
+    of unwinding the simulator event loop with a raise.
+    """
+    try:
+        value = codec.decode(payload)
+    except (InteropError, ValueError, OverflowError):
+        return None
+    return value if isinstance(value, dict) else None

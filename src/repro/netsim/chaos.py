@@ -1,0 +1,804 @@
+"""Chaos campaigns: deterministic fault storms against the full stack.
+
+The failure story of the middleware (Sections 3.4 and 3.8) is only as good
+as its worst fault path. A *campaign* stands up a complete deployment —
+multi-hop routing, reliable transport, distributed discovery, heartbeat
+failure detection, an idempotent transactional ledger, and a MiLAN sensor
+selection — then drives a seed-derived storm of faults through
+:class:`repro.netsim.failures.FailureInjector`: crash/recover churn (with
+nested and zero-downtime cases), partitions as reachability filters (with
+mobile nodes inside the partitioned group), loss bursts and slow-link
+windows, frame corruption/truncation at the medium, and clock-skewed
+per-node schedulers.
+
+After the storm heals, the campaign checks **recovery invariants**:
+
+* ``no_timer_leaks`` — once traffic quiesces, every reliable-transport
+  retransmit timer has resolved (acked or given up); no pending entry
+  survives, and receive-side dedup state stayed within its bounded window.
+* ``exactly_once_delivery`` — the reliable bulk stream delivered no
+  payload twice despite retransmissions, duplication, and corruption.
+* ``reconverged`` — after the last heal, a discovery lookup and an RPC
+  round-trip both succeed within ``reconvergence_bound_s``.
+* ``transactions_atomic`` — the ledger conserved money across partitions
+  and crashes, and every transfer acknowledged to the client was applied
+  (at-least-once with idempotent application = effectively exactly once).
+* ``heartbeat_exact`` — every injected crash episode long enough to detect
+  was reported by the monitor's failure detector exactly once.
+
+Everything is a pure function of ``(mix, seed)``: the scorecard is
+byte-identical across runs and across processes (the PR-3 sweep runner
+fans campaigns over seeds). No wall-clock values appear in the scorecard.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.milan import Milan
+from repro.core.policy import health_monitor_policy
+from repro.core.sensors import sensor_from_description
+from repro.discovery.matching import Query
+from repro.errors import ConfigurationError
+from repro.netsim import topology
+from repro.netsim.failures import FailureInjector
+from repro.netsim.mobility import RandomWaypointMobility
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import TRACER
+from repro.qos.spec import SupplierQoS
+from repro.recovery.heartbeat import HeartbeatDetector
+from repro.routing.flooding import FloodingRouter
+from repro.transport.base import Address
+from repro.transport.reliable import ReliabilityParams, ReliableTransport
+from repro.transport.simnet import SimFabric
+from repro.middleware import MiddlewareNode
+from repro.util.rng import split_rng
+
+#: The campaign fault mixes. Each is a different storm shape over the same
+#: deployment; ``corrupt`` and ``partition`` cover the two scenarios the
+#: acceptance criteria single out (corrupt-frame and mobile-partition).
+FAULT_MIXES = ("churn", "partition", "corrupt")
+
+_HB_PORT = "hb"
+_BULK_PORT = "bulk"
+
+#: Ledger accounts and their initial balance (conservation invariant).
+_ACCOUNTS = ("acct0", "acct1", "acct2", "acct3")
+_INITIAL_BALANCE = 100
+
+#: The four MiLAN sensor suppliers (from the Section 3.1 health scenario).
+_SENSOR_SPECS = [
+    ("bp-cuff", {"var:blood_pressure": "0.95", "power_w": "0.02",
+                 "battery_capacity_j": "10"}),
+    ("ecg", {"var:heart_rate": "0.95", "var:blood_pressure": "0.3",
+             "power_w": "0.03", "battery_capacity_j": "12"}),
+    ("ppg", {"var:heart_rate": "0.8", "var:oxygen_saturation": "0.9",
+             "power_w": "0.01", "battery_capacity_j": "8"}),
+    ("spo2", {"var:oxygen_saturation": "0.85", "power_w": "0.012",
+              "battery_capacity_j": "9"}),
+]
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One campaign configuration; everything derives from (mix, seed).
+
+    The default timeline: workload and faults live in the first ~45 virtual
+    seconds, every fault heals by ``heal_deadline_s``, and the remainder is
+    quiesce time long enough for the slowest retransmission chain
+    (``0.2 * 2^5`` backoff, under maximum clock skew) to resolve, so the
+    timer-leak invariant is meaningful rather than vacuous.
+    """
+
+    mix: str
+    seed: int
+    duration_s: float = 75.0
+    fault_start_s: float = 8.0
+    heal_deadline_s: float = 45.0
+    bulk_messages: int = 120
+    bulk_interval_s: float = 0.35
+    transfer_interval_s: float = 1.0
+    transfer_stop_s: float = 44.0
+    probe_interval_s: float = 1.0
+    hb_interval_s: float = 1.0
+    hb_timeout_multiplier: float = 2.5
+    reconvergence_bound_s: float = 12.0
+    recv_window: int = 256
+
+    def __post_init__(self) -> None:
+        if self.mix not in FAULT_MIXES:
+            raise ConfigurationError(
+                f"unknown fault mix {self.mix!r}; available: {FAULT_MIXES}"
+            )
+        if self.duration_s <= self.heal_deadline_s:
+            raise ConfigurationError(
+                "campaign must outlive its heal deadline "
+                f"({self.duration_s} <= {self.heal_deadline_s})"
+            )
+
+
+@dataclass
+class _Episode:
+    """One crash outage the heartbeat monitor is expected to report."""
+
+    node_id: str
+    crash_at: float
+    recover_at: float
+
+
+@dataclass
+class _ProbeRecord:
+    issued_at: float
+    completed_at: Optional[float] = None
+    ok: bool = False
+
+
+@dataclass
+class _CampaignState:
+    """Mutable observations accumulated while the simulation runs."""
+
+    bulk_sent: int = 0
+    bulk_received: List[int] = field(default_factory=list)
+    transfers_attempted: int = 0
+    transfers_acked: Set[str] = field(default_factory=set)
+    suspect_events: List[Tuple[float, str]] = field(default_factory=list)
+    alive_events: List[Tuple[float, str]] = field(default_factory=list)
+    discovery_probes: List[_ProbeRecord] = field(default_factory=list)
+    rpc_probes: List[_ProbeRecord] = field(default_factory=list)
+    milan_before: Optional[bool] = None
+
+
+class _Ledger:
+    """An idempotent transfer service: the atomicity invariant's subject.
+
+    ``transfer`` moves an amount between two accounts in one step and
+    remembers applied transaction ids, so client-side retries (lost request
+    *or* lost reply) cannot double-apply. Conservation of the total balance
+    plus ``acked ⊆ applied`` is exactly "transactions stay atomic across
+    partitions" at this scale.
+    """
+
+    def __init__(self) -> None:
+        self.balances: Dict[str, int] = {a: _INITIAL_BALANCE for a in _ACCOUNTS}
+        self.applied: Set[str] = set()
+
+    def transfer(self, txid: str, src: str, dst: str, amount: int) -> bool:
+        if txid in self.applied:
+            return True
+        if src not in self.balances or dst not in self.balances:
+            raise ConfigurationError(f"unknown account {src!r}/{dst!r}")
+        self.applied.add(txid)
+        self.balances[src] -= amount
+        self.balances[dst] += amount
+        return True
+
+    def ping(self) -> str:
+        return "pong"
+
+    def total(self) -> int:
+        return sum(self.balances.values())
+
+
+class ChaosCampaign:
+    """Builds the deployment, schedules the storm, runs it, and judges it."""
+
+    def __init__(self, spec: CampaignSpec):
+        self.spec = spec
+        self.rng = split_rng(spec.seed, f"chaos:{spec.mix}")
+        self.state = _CampaignState()
+        self.episodes: List[_Episode] = []
+        self.fault_counts: Dict[str, int] = {
+            "crashes": 0, "blips": 0, "nested_crashes": 0, "partitions": 0,
+            "loss_bursts": 0, "degrade_windows": 0, "corrupt_windows": 0,
+            "skewed_nodes": 0,
+        }
+        self.last_heal_s = spec.fault_start_s
+        self._corruptor = None
+        self._build_stack()
+        self._schedule_workload()
+        self._schedule_faults()
+
+    # ------------------------------------------------------------ deployment
+
+    def _build_stack(self) -> None:
+        spec = self.spec
+        # 3x3 grid, 60 m spacing, 100 m radio range: connected but genuinely
+        # multi-hop corner to corner, so routing is load-bearing.
+        self.network = topology.grid(3, 3, spacing=60.0, seed=spec.seed)
+        self.fabric = SimFabric(self.network)
+        self.injector = FailureInjector(self.network, seed=spec.seed)
+
+        ids = self.network.node_ids()
+        self.monitor_id = "n0_0"     # failure detector + probe client
+        self.ledger_id = "n2_2"      # transactional service supplier
+        self.bulk_src_id = "n0_2"    # reliable stream endpoints (far corners)
+        self.bulk_dst_id = "n2_0"
+
+        self.nodes: Dict[str, MiddlewareNode] = {
+            node_id: MiddlewareNode(
+                self.fabric, node_id,
+                router_factory=lambda _nid: FloodingRouter(),
+                collect_window_s=1.0, discovery_ttl=6,
+            )
+            for node_id in ids
+        }
+
+        # Fresh network answers only: the probe that measures re-convergence
+        # must not be satisfied from the consumer-side advert cache.
+        self.nodes[self.monitor_id].discovery.use_cache = False
+
+        # The ledger service (atomicity invariant) on the far corner.
+        self.ledger = _Ledger()
+        self.nodes[self.ledger_id].provide(
+            "ledger", "ledger",
+            {"transfer": self.ledger.transfer, "ping": self.ledger.ping},
+        )
+
+        # MiLAN sensor suppliers spread over interior nodes.
+        sensor_hosts = ["n0_1", "n1_0", "n1_2", "n2_1"]
+        for host, (sensor_id, properties) in zip(sensor_hosts, _SENSOR_SPECS):
+            self.nodes[host].provide(
+                sensor_id, "vital-sensor",
+                {"read": lambda sid=sensor_id: sid},
+                qos=SupplierQoS(battery_powered=True, battery_fraction=1.0,
+                                properties=properties),
+            )
+
+        # Reliable bulk stream across the diagonal, over the routing layer.
+        params = ReliabilityParams(recv_window=spec.recv_window)
+        src_agent = self.nodes[self.bulk_src_id].routing_agent
+        dst_agent = self.nodes[self.bulk_dst_id].routing_agent
+        assert src_agent is not None and dst_agent is not None
+        self.bulk_sender = ReliableTransport(
+            src_agent.open_port(_BULK_PORT), params=params
+        )
+        self.bulk_receiver = ReliableTransport(
+            dst_agent.open_port(_BULK_PORT), params=params
+        )
+        self.bulk_receiver.set_receiver(self._on_bulk)
+
+        # Heartbeats: everyone beats toward the monitor; the monitor watches.
+        self.detectors: Dict[str, HeartbeatDetector] = {}
+        monitor_hb = Address(self.monitor_id, _HB_PORT)
+        for node_id in ids:
+            agent = self.nodes[node_id].routing_agent
+            assert agent is not None
+            detector = HeartbeatDetector(
+                agent.open_port(_HB_PORT),
+                interval_s=spec.hb_interval_s,
+                timeout_multiplier=spec.hb_timeout_multiplier,
+            )
+            if node_id == self.monitor_id:
+                for other in ids:
+                    if other != node_id:
+                        detector.watch(other)
+                detector.events.on(
+                    "suspect",
+                    lambda nid: self.state.suspect_events.append(
+                        (self.network.sim.now(), nid)
+                    ),
+                )
+                detector.events.on(
+                    "alive",
+                    lambda nid: self.state.alive_events.append(
+                        (self.network.sim.now(), nid)
+                    ),
+                )
+            else:
+                detector.send_to(monitor_hb)
+            self.detectors[node_id] = detector
+
+    # -------------------------------------------------------------- workload
+
+    def _on_bulk(self, _source: Address, payload: bytes) -> None:
+        self.state.bulk_received.append(int.from_bytes(payload[:4], "big"))
+
+    def _schedule_workload(self) -> None:
+        spec = self.spec
+        sim = self.network.sim
+        dst = Address(self.bulk_dst_id, _BULK_PORT)
+
+        def send_bulk(index: int) -> None:
+            self.state.bulk_sent += 1
+            self.bulk_sender.send(dst, index.to_bytes(4, "big") + b"x" * 28)
+
+        for i in range(spec.bulk_messages):
+            sim.schedule_at(2.0 + i * spec.bulk_interval_s, send_bulk, i)
+
+        # Idempotent ledger transfers with client-side retries.
+        monitor = self.nodes[self.monitor_id]
+        provider = f"{self.ledger_id}:svc"
+        transfer_rng = split_rng(spec.seed, f"chaos-transfers:{spec.mix}")
+
+        def send_transfer(txid: str) -> None:
+            src, dst_acct = transfer_rng.sample(_ACCOUNTS, 2)
+            amount = transfer_rng.randint(1, 10)
+            self.state.transfers_attempted += 1
+            promise = monitor.rpc.call(
+                Address.parse(provider), "transfer",
+                {"txid": txid, "src": src, "dst": dst_acct, "amount": amount},
+                timeout_s=1.5, retries=3,
+            )
+            promise.on_settle(
+                lambda settled, txid=txid: (
+                    self.state.transfers_acked.add(txid)
+                    if settled.fulfilled else None
+                )
+            )
+
+        t = 3.0
+        index = 0
+        while t < spec.transfer_stop_s:
+            sim.schedule_at(t, send_transfer, f"tx{index}")
+            index += 1
+            t += spec.transfer_interval_s
+
+        # Re-convergence probes: discovery lookups and RPC round-trips.
+        def probe_discovery() -> None:
+            record = _ProbeRecord(issued_at=sim.now())
+            self.state.discovery_probes.append(record)
+            promise = monitor.find(Query("ledger"))
+
+            def settle(settled) -> None:
+                record.completed_at = sim.now()
+                record.ok = settled.fulfilled and bool(settled.result())
+
+            promise.on_settle(settle)
+
+        def probe_rpc() -> None:
+            record = _ProbeRecord(issued_at=sim.now())
+            self.state.rpc_probes.append(record)
+            promise = monitor.call(provider, "ping", timeout_s=2.0)
+
+            def settle(settled) -> None:
+                record.completed_at = sim.now()
+                record.ok = settled.fulfilled and settled.result() == "pong"
+
+            promise.on_settle(settle)
+
+        t = 1.0
+        while t < spec.duration_s - 4.0:
+            sim.schedule_at(t, probe_discovery)
+            sim.schedule_at(t + 0.5, probe_rpc)
+            t += spec.probe_interval_s
+
+        # MiLAN baseline selection early in the run.
+        def milan_baseline() -> None:
+            promise = monitor.find(Query("vital-sensor", max_results=20))
+            promise.on_settle(
+                lambda settled: self._judge_milan(settled, before=True)
+            )
+
+        sim.schedule_at(5.0, milan_baseline)
+
+    def _judge_milan(self, settled, before: bool) -> Optional[int]:
+        if settled.rejected:
+            satisfied, count = False, 0
+        else:
+            descriptions = settled.result()
+            milan = Milan(health_monitor_policy())
+            for description in descriptions:
+                milan.add_sensor(sensor_from_description(description))
+            satisfied, count = milan.application_satisfied(), len(descriptions)
+        if before:
+            self.state.milan_before = satisfied
+            return None
+        self._milan_after = (satisfied, count)
+        return count
+
+    # ---------------------------------------------------------------- faults
+
+    def _fault_times(self, count: int, duration_range: Tuple[float, float]):
+        """Draw ``count`` (start, duration) windows inside the fault phase."""
+        spec = self.spec
+        windows = []
+        for _ in range(count):
+            duration = self.rng.uniform(*duration_range)
+            start = self.rng.uniform(
+                spec.fault_start_s, spec.heal_deadline_s - duration
+            )
+            windows.append((start, duration))
+            self.last_heal_s = max(self.last_heal_s, start + duration)
+        return windows
+
+    def _crash(self, node_id: str, start: float, downtime: float) -> None:
+        self.injector.crash_and_recover(node_id, start, downtime)
+        self.fault_counts["crashes"] += 1
+        self.episodes.append(_Episode(node_id, start, start + downtime))
+        self.last_heal_s = max(self.last_heal_s, start + downtime)
+
+    def _apply_skew(self, exclude: Tuple[str, ...]) -> None:
+        for node_id in self.network.node_ids():
+            if node_id in exclude:
+                continue
+            factor = 1.0 + self.rng.uniform(-0.08, 0.08)
+            self.fabric.set_clock_skew(node_id, factor)
+            self.fault_counts["skewed_nodes"] += 1
+
+    def _schedule_faults(self) -> None:
+        spec = self.spec
+        # Clock skew everywhere except the monitor (its detector timing
+        # anchors the heartbeat invariant) in every mix: drifting timers are
+        # ambient reality, not an exotic fault.
+        self._apply_skew(exclude=(self.monitor_id,))
+
+        if spec.mix == "churn":
+            self._schedule_churn()
+        elif spec.mix == "partition":
+            self._schedule_partition()
+        else:
+            self._schedule_corrupt()
+
+    def _schedule_churn(self) -> None:
+        # Three plain crash episodes on distinct non-monitor nodes...
+        candidates = [n for n in self.network.node_ids() if n != self.monitor_id]
+        targets = self.rng.sample(candidates, 3)
+        for node_id, (start, duration) in zip(
+            targets, self._fault_times(3, (4.0, 7.0))
+        ):
+            self._crash(node_id, start, duration)
+        # ...one nested double-crash (overlapping injections must compose)...
+        nested = targets[0]
+        (start, duration), = self._fault_times(1, (4.0, 6.0))
+        self.injector.crash_and_recover(nested, start, duration)
+        self.injector.crash_and_recover(nested, start + 1.0, duration)
+        self.fault_counts["nested_crashes"] += 1
+        end = start + 1.0 + duration
+        self.episodes.append(_Episode(nested, start, end))
+        self.last_heal_s = max(self.last_heal_s, end)
+        # ...one zero-downtime blip (atomic crash-then-recover)...
+        blip_at = self.rng.uniform(self.spec.fault_start_s,
+                                   self.spec.heal_deadline_s - 1.0)
+        self.injector.crash_and_recover(targets[1], blip_at, 0.0)
+        self.fault_counts["blips"] += 1
+        # ...and a loss burst on top.
+        for start, duration in self._fault_times(1, (3.0, 5.0)):
+            self.injector.loss_burst_at(start, duration,
+                                        extra_loss=self.rng.uniform(0.2, 0.35))
+            self.fault_counts["loss_bursts"] += 1
+
+    def _schedule_partition(self) -> None:
+        # Two mobile nodes so the partition interacts with live mobility:
+        # the reachability filter must hold while they wander, and healing
+        # must not teleport them back.
+        area = (140.0, 140.0)
+        for i, node_id in enumerate(("n0_1", "n1_2")):
+            node = self.network.node(node_id)
+            node.set_mobility(RandomWaypointMobility(
+                area, seed=self.spec.seed * 31 + i,
+                speed_range=(1.0, 3.0), start=node.position,
+            ))
+        # Right column (contains the ledger and mobile n1_2) splits off,
+        # then the bottom row: both separate the monitor from the ledger.
+        groups = [["n0_2", "n1_2", "n2_2"], ["n2_0", "n2_1", "n2_2"]]
+        for group, (start, duration) in zip(
+            groups, self._fault_times(2, (5.0, 8.0))
+        ):
+            self.injector.partition_at(start, group, duration)
+            self.fault_counts["partitions"] += 1
+        # One crash on a node outside every partition group, so heartbeat
+        # detection of real crashes stays distinguishable from partition
+        # shadowing (which shows up as spurious_suspects instead).
+        target = self.rng.choice(["n1_0", "n1_1"])
+        (start, duration), = self._fault_times(1, (4.0, 6.0))
+        self._crash(target, start, duration)
+        # A slow-link window stacked on the second half of the storm.
+        for start, duration in self._fault_times(1, (4.0, 6.0)):
+            self.injector.degrade_at(start, duration,
+                                     extra_latency_s=self.rng.uniform(0.02, 0.05))
+            self.fault_counts["degrade_windows"] += 1
+
+    def _schedule_corrupt(self) -> None:
+        for start, duration in self._fault_times(2, (4.0, 7.0)):
+            self._corruptor = self.injector.corrupt_frames_at(
+                start, duration,
+                probability=self.rng.uniform(0.05, 0.12),
+                truncate_fraction=0.5,
+            )
+            self.fault_counts["corrupt_windows"] += 1
+        candidates = [n for n in self.network.node_ids() if n != self.monitor_id]
+        target = self.rng.choice(candidates)
+        (start, duration), = self._fault_times(1, (4.0, 6.0))
+        self._crash(target, start, duration)
+        for start, duration in self._fault_times(1, (3.0, 5.0)):
+            self.injector.loss_burst_at(start, duration,
+                                        extra_loss=self.rng.uniform(0.15, 0.3))
+            self.fault_counts["loss_bursts"] += 1
+
+    # ------------------------------------------------------------ invariants
+
+    def _merged_episodes(self) -> List[_Episode]:
+        """Merge overlapping crash windows per node (nested injections)."""
+        merged: List[_Episode] = []
+        by_node: Dict[str, List[_Episode]] = {}
+        for episode in self.episodes:
+            by_node.setdefault(episode.node_id, []).append(episode)
+        for node_id in sorted(by_node):
+            spans = sorted(by_node[node_id], key=lambda e: e.crash_at)
+            current = spans[0]
+            for nxt in spans[1:]:
+                if nxt.crash_at <= current.recover_at:
+                    current = _Episode(node_id, current.crash_at,
+                                       max(current.recover_at, nxt.recover_at))
+                else:
+                    merged.append(current)
+                    current = nxt
+            merged.append(current)
+        return merged
+
+    def _suspected_at(self, node_id: str, when: float) -> bool:
+        """Was the monitor already suspecting ``node_id`` at time ``when``?"""
+        last_suspect = max(
+            (t for t, nid in self.state.suspect_events
+             if nid == node_id and t < when), default=None,
+        )
+        if last_suspect is None:
+            return False
+        last_alive = max(
+            (t for t, nid in self.state.alive_events
+             if nid == node_id and t < when), default=-1.0,
+        )
+        return last_alive < last_suspect
+
+    def _check_heartbeat(self, violations: List[str]) -> Dict[str, Any]:
+        """Every detectable crash reported exactly once.
+
+        "Exactly once" is judged against eventually-perfect-detector
+        semantics: the monitor reports an outage with one ``suspect`` event
+        and cannot report it again unless an intervening heartbeat cleared
+        the suspicion (an ``alive`` event re-arms it). So a crash that lands
+        while the node is still suspected from a previous outage counts as
+        detected by carry-over, and a second ``suspect`` is only legitimate
+        if an ``alive`` fell in between.
+        """
+        detect_slack = self.spec.hb_interval_s * self.spec.hb_timeout_multiplier + 2.0
+        episodes = self._merged_episodes()
+        detected = 0
+        duplicates = 0
+        missed = 0
+        matched_suspects: Set[int] = set()
+        for episode in episodes:
+            window_end = episode.recover_at + detect_slack
+            hits = [
+                i for i, (t, nid) in enumerate(self.state.suspect_events)
+                if nid == episode.node_id and episode.crash_at <= t <= window_end
+            ]
+            matched_suspects.update(hits)
+            rearms = sum(
+                1 for t, nid in self.state.alive_events
+                if nid == episode.node_id and episode.crash_at <= t <= window_end
+            )
+            if len(hits) == 0:
+                if self._suspected_at(episode.node_id, episode.crash_at):
+                    detected += 1  # carried over from a prior, uncleared outage
+                else:
+                    missed += 1
+                    violations.append(
+                        f"heartbeat missed crash of {episode.node_id} "
+                        f"at t={episode.crash_at:.2f}"
+                    )
+            elif len(hits) <= 1 + rearms:
+                detected += 1
+            else:
+                duplicates += 1
+                violations.append(
+                    f"heartbeat reported crash of {episode.node_id} "
+                    f"{len(hits)} times ({rearms} re-arms)"
+                )
+        spurious = len(self.state.suspect_events) - len(matched_suspects)
+        return {
+            "episodes": len(episodes),
+            "detected": detected,
+            "duplicate_detections": duplicates,
+            "missed": missed,
+            "spurious_suspects": spurious,
+        }
+
+    def _first_ok_after(self, probes: List[_ProbeRecord],
+                        after: float) -> Optional[float]:
+        for record in probes:
+            if record.issued_at >= after and record.ok:
+                assert record.completed_at is not None
+                return record.completed_at - after
+        return None
+
+    def _check_reconvergence(self, violations: List[str]) -> Dict[str, Any]:
+        bound = self.spec.reconvergence_bound_s
+        discovery_s = self._first_ok_after(self.state.discovery_probes,
+                                           self.last_heal_s)
+        rpc_s = self._first_ok_after(self.state.rpc_probes, self.last_heal_s)
+        if discovery_s is None or discovery_s > bound:
+            violations.append(
+                f"discovery did not re-converge within {bound}s of heal "
+                f"(got {discovery_s})"
+            )
+        if rpc_s is None or rpc_s > bound:
+            violations.append(
+                f"rpc/routing did not re-converge within {bound}s of heal "
+                f"(got {rpc_s})"
+            )
+        return {
+            "last_heal_s": round(self.last_heal_s, 6),
+            "discovery_s": None if discovery_s is None else round(discovery_s, 6),
+            "rpc_s": None if rpc_s is None else round(rpc_s, 6),
+            "bound_s": bound,
+        }
+
+    # ---------------------------------------------------------------- runner
+
+    def run(self) -> Dict[str, Any]:
+        spec = self.spec
+        sim = self.network.sim
+        TRACER.instant("chaos.campaign_start", mix=spec.mix, seed=spec.seed)
+        sim.run_until(spec.duration_s)
+
+        # Post-heal MiLAN reconfiguration: re-discover whatever survived.
+        self._milan_after: Tuple[bool, int] = (False, 0)
+        monitor = self.nodes[self.monitor_id]
+        promise = monitor.find(Query("vital-sensor", max_results=20))
+        promise.on_settle(lambda settled: self._judge_milan(settled, before=False))
+        sim.run_for(4.0)
+
+        violations: List[str] = []
+
+        # Invariant: no leaked retransmit timers once traffic quiesced.
+        leaked = len(self.bulk_sender._pending) + len(self.bulk_receiver._pending)
+        if leaked:
+            violations.append(f"{leaked} retransmit timers still pending after quiesce")
+        window_sizes = [
+            len(state.window)
+            for transport in (self.bulk_sender, self.bulk_receiver)
+            for state in transport._recv.values()
+        ]
+        max_window = max(window_sizes, default=0)
+        if max_window > spec.recv_window:
+            violations.append(
+                f"receive window exceeded bound: {max_window} > {spec.recv_window}"
+            )
+
+        # Invariant: exactly-once delivery on the reliable bulk stream.
+        received = self.state.bulk_received
+        duplicate_deliveries = len(received) - len(set(received))
+        if duplicate_deliveries:
+            violations.append(
+                f"{duplicate_deliveries} duplicate deliveries on the bulk stream"
+            )
+
+        # Invariant: ledger atomicity across partitions.
+        conserved = self.ledger.total() == _INITIAL_BALANCE * len(_ACCOUNTS)
+        if not conserved:
+            violations.append(
+                f"ledger violated conservation: total={self.ledger.total()}"
+            )
+        unapplied = self.state.transfers_acked - self.ledger.applied
+        if unapplied:
+            violations.append(
+                f"{len(unapplied)} acked transfers were never applied"
+            )
+
+        heartbeat = self._check_heartbeat(violations)
+        reconvergence = self._check_reconvergence(violations)
+
+        scorecard = self._scorecard(violations, heartbeat, reconvergence,
+                                    duplicate_deliveries, max_window, conserved)
+        self._publish(scorecard)
+        self._teardown()
+        return scorecard
+
+    def _scorecard(self, violations, heartbeat, reconvergence,
+                   duplicate_deliveries, max_window, conserved) -> Dict[str, Any]:
+        state = self.state
+        sent = state.bulk_sent
+        delivered = len(set(state.bulk_received))
+        malformed = (
+            self.bulk_sender.malformed_frames
+            + self.bulk_receiver.malformed_frames
+            + sum(d.malformed_frames for d in self.detectors.values())
+            + sum(
+                getattr(n.discovery, "malformed_frames", 0)
+                + n.rpc.malformed_frames
+                for n in self.nodes.values()
+            )
+            + sum(
+                a.dropped.get("malformed", 0)
+                for n in self.nodes.values()
+                if (a := n.routing_agent) is not None
+            )
+        )
+        corruptor = self._corruptor
+        faults = dict(self.fault_counts)
+        faults["frames_corrupted"] = 0 if corruptor is None else corruptor.corrupted
+        faults["frames_truncated"] = 0 if corruptor is None else corruptor.truncated
+        milan_after_ok, milan_after_sensors = self._milan_after
+        invariants = {
+            "no_timer_leaks": not any("pending" in v or "window exceeded" in v
+                                      for v in violations),
+            "exactly_once_delivery": duplicate_deliveries == 0,
+            "reconverged": not any("re-converge" in v for v in violations),
+            "transactions_atomic": not any(
+                "ledger" in v or "acked transfers" in v for v in violations
+            ),
+            "heartbeat_exact": heartbeat["missed"] == 0
+            and heartbeat["duplicate_detections"] == 0,
+        }
+        return {
+            "mix": self.spec.mix,
+            "seed": self.spec.seed,
+            "duration_s": self.spec.duration_s,
+            "delivery": {
+                "sent": sent,
+                "delivered": delivered,
+                "ratio": round(delivered / sent, 6) if sent else 1.0,
+                "duplicate_deliveries": duplicate_deliveries,
+                "give_ups": self.bulk_sender.give_ups,
+                "retransmissions": self.bulk_sender.retransmissions,
+                "window_overflows": self.bulk_receiver.window_overflows,
+                "max_recv_window": max_window,
+            },
+            "malformed_frames": malformed,
+            "medium": {
+                "drops_partitioned": self.network.medium.drops_partitioned,
+                "drops_faulted": self.network.medium.drops_faulted,
+                "drops_loss": self.network.medium.drops_loss,
+            },
+            "faults": faults,
+            "heartbeat": heartbeat,
+            "reconvergence": reconvergence,
+            "ledger": {
+                "attempted": state.transfers_attempted,
+                "acked": len(state.transfers_acked),
+                "applied": len(self.ledger.applied),
+                "conserved": conserved,
+            },
+            "milan": {
+                "satisfied_before": state.milan_before,
+                "satisfied_after": milan_after_ok,
+                "sensors_after": milan_after_sensors,
+            },
+            "invariants": invariants,
+            "violations": sorted(violations),
+            "ok": not violations,
+        }
+
+    def _publish(self, scorecard: Dict[str, Any]) -> None:
+        """Mirror headline scorecard numbers into the metrics registry."""
+        registry = get_registry()
+        labels = {"mix": self.spec.mix, "seed": str(self.spec.seed)}
+        registry.gauge("chaos.delivery_ratio", **labels).set(
+            scorecard["delivery"]["ratio"]
+        )
+        registry.gauge("chaos.violations", **labels).set(
+            len(scorecard["violations"])
+        )
+        registry.counter("chaos.give_ups", **labels).inc(
+            scorecard["delivery"]["give_ups"]
+        )
+        registry.counter("chaos.malformed_frames", **labels).inc(
+            scorecard["malformed_frames"]
+        )
+        TRACER.instant(
+            "chaos.campaign_end", mix=self.spec.mix, seed=self.spec.seed,
+            ok=scorecard["ok"], violations=len(scorecard["violations"]),
+        )
+
+    def _teardown(self) -> None:
+        for detector in self.detectors.values():
+            detector.stop()
+        self.bulk_sender.close()
+        self.bulk_receiver.close()
+        for node in self.nodes.values():
+            node.close()
+
+
+def run_campaign(mix: str, seed: int, **overrides: Any) -> Dict[str, Any]:
+    """Run one campaign; returns its scorecard (a pure function of inputs)."""
+    spec = CampaignSpec(mix=mix, seed=seed, **overrides)
+    return ChaosCampaign(spec).run()
+
+
+def scorecard_bytes(scorecard: Dict[str, Any]) -> bytes:
+    """Canonical serialized form: byte-identical for identical campaigns."""
+    return json.dumps(scorecard, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")

@@ -12,7 +12,7 @@ components off).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from repro.errors import ConfigurationError
 from repro.netsim.mobility import is_time_varying
@@ -71,6 +71,12 @@ IDEAL_RADIO = RadioProfile(
 )
 
 
+#: A delivery fault hook: ``(receiver_id, packet) -> packet or None``.
+#: Returning ``None`` drops the reception; returning a (possibly mutated)
+#: packet delivers it. Installed by the chaos layer to model corruption.
+DeliveryFault = Callable[[str, Packet], Optional[Packet]]
+
+
 class WirelessMedium:
     """A broadcast domain shared by attached nodes.
 
@@ -84,6 +90,18 @@ class WirelessMedium:
     with time-varying mobility are re-bucketed lazily, at most once per
     distinct virtual timestamp; static nodes re-bucket only when their
     ``"moved"`` event fires.
+
+    Failure modeling hooks (all no-cost when unused):
+
+    * **Isolation groups** (:meth:`isolate` / :meth:`heal`) — partitions as
+      a reachability filter: two nodes can communicate iff they are on the
+      same side of every active isolation group. Positions are untouched,
+      so mobility models keep working and healing never teleports nodes.
+    * **Degradation** (:attr:`extra_loss_probability`,
+      :attr:`extra_latency_s`) — additive loss/latency for lossy bursts and
+      slow-link periods.
+    * **Delivery faults** (:meth:`set_delivery_fault`) — a per-reception
+      hook that can corrupt, truncate, or swallow packets.
     """
 
     def __init__(self, sim: Simulator, profile: RadioProfile = WIFI_80211, seed: int = 0):
@@ -97,12 +115,20 @@ class WirelessMedium:
         self._attach_seq: Dict[str, int] = {}
         self._next_seq = 0
         self._moved_subs: Dict[str, Subscription] = {}
+        # Failure-modeling state (chaos layer; inert by default).
+        self._isolations: Dict[int, frozenset] = {}
+        self._next_isolation_token = 0
+        self.extra_loss_probability = 0.0
+        self.extra_latency_s = 0.0
+        self._delivery_fault: Optional[DeliveryFault] = None
         # Counters for the overhead experiments.
         self.transmissions = 0
         self.deliveries = 0
         self.drops_out_of_range = 0
         self.drops_loss = 0
         self.drops_dead = 0
+        self.drops_partitioned = 0
+        self.drops_faulted = 0
         self.bytes_transmitted = 0
 
     # ----------------------------------------------------------- membership
@@ -153,6 +179,37 @@ class WirelessMedium:
             grid.move(node_id, position.x, position.y)
         self._grid_time = now
 
+    # ------------------------------------------------------ failure modeling
+
+    def isolate(self, group: Iterable[str]) -> int:
+        """Partition ``group`` from the rest of the medium; returns a token.
+
+        Reachability filter semantics: while the isolation is active, a
+        frame crosses between a group member and a non-member in neither
+        direction. Multiple isolations compose (two nodes talk iff they are
+        on the same side of *every* active one). Node positions are not
+        touched, so attached mobility models remain live.
+        """
+        token = self._next_isolation_token
+        self._next_isolation_token += 1
+        self._isolations[token] = frozenset(group)
+        return token
+
+    def heal(self, token: int) -> None:
+        """Remove the isolation identified by ``token``; idempotent."""
+        self._isolations.pop(token, None)
+
+    def partitioned(self, a: str, b: str) -> bool:
+        """True if any active isolation separates nodes ``a`` and ``b``."""
+        for group in self._isolations.values():
+            if (a in group) != (b in group):
+                return True
+        return False
+
+    def set_delivery_fault(self, fault: Optional[DeliveryFault]) -> None:
+        """Install (or clear, with ``None``) the per-reception fault hook."""
+        self._delivery_fault = fault
+
     def nodes(self) -> List[Node]:
         return list(self._nodes.values())
 
@@ -165,6 +222,13 @@ class WirelessMedium:
         Results come from the spatial grid (then an exact range check) and
         are ordered by attachment, matching the pre-grid all-nodes scan.
         """
+        out = self._audible_nodes(node_id)
+        if self._isolations:
+            out = [n for n in out if not self.partitioned(node_id, n.node_id)]
+        return out
+
+    def _audible_nodes(self, node_id: str) -> List[Node]:
+        """Alive in-range nodes, ignoring partitions (physical audibility)."""
         origin = self._nodes.get(node_id)
         if origin is None:
             return []
@@ -203,7 +267,14 @@ class WirelessMedium:
         self.bytes_transmitted += packet.size_bytes
 
         if packet.is_broadcast:
-            receivers = self.neighbors_of(sender_id)
+            receivers = self._audible_nodes(sender_id)
+            if self._isolations:
+                reachable = [
+                    n for n in receivers
+                    if not self.partitioned(sender_id, n.node_id)
+                ]
+                self.drops_partitioned += len(receivers) - len(reachable)
+                receivers = reachable
             tx_distance = self.profile.range_m
         else:
             target = self._nodes.get(packet.destination)
@@ -219,6 +290,11 @@ class WirelessMedium:
                 elif tx_distance > self.profile.range_m:
                     self.drops_out_of_range += 1
                     receivers = []
+                elif self._isolations and self.partitioned(
+                    sender_id, target.node_id
+                ):
+                    self.drops_partitioned += 1
+                    receivers = []
                 else:
                     receivers = [target]
 
@@ -228,14 +304,19 @@ class WirelessMedium:
             # Battery died mid-transmission: the frame never completes.
             return True
 
-        delay = self.profile.base_latency_s + self.profile.serialization_delay(
-            packet.size_bits
+        delay = (
+            self.profile.base_latency_s
+            + self.profile.serialization_delay(packet.size_bits)
+            + self.extra_latency_s
+        )
+        loss_probability = min(
+            0.999999, self.profile.loss_probability + self.extra_loss_probability
         )
         for receiver in receivers:
             per_rx_delay = delay
             if self.profile.contention_window_s > 0:
                 per_rx_delay += self._rng.uniform(0, self.profile.contention_window_s)
-            if self._rng.random() < self.profile.loss_probability:
+            if self._rng.random() < loss_probability:
                 self.drops_loss += 1
                 continue
             self.sim.schedule(per_rx_delay, self._deliver, receiver, packet)
@@ -246,8 +327,15 @@ class WirelessMedium:
             self.drops_dead += 1
             return
         receiver.charge_rx(packet.size_bits)
-        if receiver.alive:
-            self.deliveries += 1
-            receiver.deliver(packet)
-        else:
+        if not receiver.alive:
             self.drops_dead += 1
+            return
+        fault = self._delivery_fault
+        if fault is not None:
+            faulted = fault(receiver.node_id, packet)
+            if faulted is None:
+                self.drops_faulted += 1
+                return
+            packet = faulted
+        self.deliveries += 1
+        receiver.deliver(packet)

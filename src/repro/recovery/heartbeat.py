@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from repro.errors import ConfigurationError
-from repro.interop.codec import Codec, get_codec
+from repro.interop.codec import Codec, get_codec, try_decode_dict
 from repro.transport.base import Address, Transport
 from repro.util.events import EventEmitter
 
@@ -57,6 +57,7 @@ class HeartbeatDetector:
         self._watched: Dict[str, PeerState] = {}
         self._seq = 0
         self.heartbeats_sent = 0
+        self.malformed_frames = 0
         transport.set_receiver(self._on_message)
         self._beat_timer = transport.scheduler.schedule(interval_s, self._beat)
         self._check_timer = transport.scheduler.schedule(interval_s, self._check)
@@ -112,7 +113,11 @@ class HeartbeatDetector:
         self._check_timer = self.transport.scheduler.schedule(self.interval_s, self._check)
 
     def _on_message(self, source: Address, payload: bytes) -> None:
-        message = self.codec.decode(payload)
+        message = try_decode_dict(self.codec, payload)
+        if message is None:
+            # Corrupted frame (chaos injection): drop, never raise.
+            self.malformed_frames += 1
+            return
         if message.get("op") != "hb":
             return
         node_id = message.get("from")
@@ -120,8 +125,8 @@ class HeartbeatDetector:
         if state is None:
             return
         seq = message.get("seq", 0)
-        if seq <= state.last_seq:
-            return  # stale or duplicated heartbeat
+        if not isinstance(seq, int) or seq <= state.last_seq:
+            return  # stale, duplicated, or mangled heartbeat
         state.last_seq = seq
         state.last_heard = self.transport.scheduler.now()
         if state.suspected:

@@ -24,8 +24,8 @@ import abc
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.errors import ConfigurationError, NoRouteError
-from repro.interop.codec import Codec, get_codec
+from repro.errors import ConfigurationError, MiddlewareError, NoRouteError
+from repro.interop.codec import Codec, get_codec, try_decode_dict
 from repro.obs.tracing import TRACER, SpanContext
 from repro.transport.base import Address, Scheduler, Transport
 from repro.transport.simnet import BROADCAST_NODE, SimFabric, SimTransport
@@ -295,7 +295,12 @@ class RoutingAgent:
     # ------------------------------------------------------------- receiving
 
     def _on_frame(self, source: Address, payload: bytes) -> None:
-        message = self.codec.decode(payload)
+        # Corrupted or truncated frames (chaos injection) are dropped and
+        # counted, never raised — a raise would abort the simulator run.
+        message = try_decode_dict(self.codec, payload)
+        if message is None:
+            self._drop("malformed")
+            return
         if "c" in message:
             if TRACER.enabled:
                 with TRACER.span("route.control", node=self.node_id,
@@ -304,7 +309,15 @@ class RoutingAgent:
             else:
                 self.router.handle_control(source, message)
             return
-        envelope = Envelope.from_dict(message)
+        try:
+            envelope = Envelope.from_dict(message)
+        except (KeyError, TypeError, ValueError, AttributeError, MiddlewareError):
+            self._drop("malformed")
+            return
+        if not isinstance(envelope.ttl, int) or not isinstance(envelope.seq, int) \
+                or not isinstance(envelope.payload, (bytes, bytearray)):
+            self._drop("malformed")
+            return
         if TRACER.enabled:
             # Re-attach the trace context carried in the frame's packet
             # header (ambient here: we run inside the transport.deliver span).

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Mapping, Optional
 
 from repro.errors import RemoteError, RpcError, RpcTimeoutError, SchemaError
-from repro.interop.codec import Codec, get_codec
+from repro.interop.codec import Codec, get_codec, try_decode_dict
 from repro.interop.schema import InterfaceSchema
 from repro.obs.tracing import NOOP_SPAN, TRACER
 from repro.transport.base import Address, Transport
@@ -65,6 +65,7 @@ class RpcEndpoint:
         self.calls_made = 0
         self.calls_served = 0
         self.timeouts = 0
+        self.malformed_frames = 0
         transport.set_receiver(self._on_message)
 
     # ---------------------------------------------------------------- serving
@@ -191,13 +192,24 @@ class RpcEndpoint:
     # -------------------------------------------------------------- receiving
 
     def _on_message(self, source: Address, payload: bytes) -> None:
-        message = self.codec.decode(payload)
+        message = try_decode_dict(self.codec, payload)
+        if message is None:
+            self.malformed_frames += 1
+            return
         op = message.get("op")
         if op == "call":
-            self._serve(source, message.get("rid"), message["method"],
+            method = message.get("method")
+            if not isinstance(method, str):
+                self.malformed_frames += 1
+                return
+            self._serve(source, message.get("rid"), method,
                         message.get("params", {}))
         elif op == "notify":
-            self._serve(source, None, message["method"], message.get("params", {}))
+            method = message.get("method")
+            if not isinstance(method, str):
+                self.malformed_frames += 1
+                return
+            self._serve(source, None, method, message.get("params", {}))
         elif op in ("result", "error"):
             pending = self._pending.pop(message.get("rid"), None)
             if pending is None:

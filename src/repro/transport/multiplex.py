@@ -13,18 +13,25 @@ from __future__ import annotations
 import struct
 from typing import Dict
 
-from repro.errors import ConfigurationError, DeliveryError
+from repro.errors import ConfigurationError
+from repro.obs.metrics import get_registry
 from repro.transport.base import Address, Scheduler, Transport
 
 _LEN = struct.Struct(">H")
 
 
 class Multiplexer:
-    """Demultiplexes channel frames arriving on the wrapped transport."""
+    """Demultiplexes channel frames arriving on the wrapped transport.
+
+    Malformed frames (truncated header or name, undecodable name) are
+    counted and dropped rather than raised — a raise here would unwind the
+    simulator event loop and abort the whole run.
+    """
 
     def __init__(self, inner: Transport):
         self.inner = inner
         self._channels: Dict[str, "ChannelTransport"] = {}
+        self.malformed_frames = 0
         inner.set_receiver(self._on_frame)
 
     def channel(self, name: str) -> "ChannelTransport":
@@ -45,16 +52,28 @@ class Multiplexer:
 
     def _on_frame(self, source: Address, frame: bytes) -> None:
         if len(frame) < _LEN.size:
-            raise DeliveryError(f"malformed mux frame from {source}")
+            self._drop_malformed()
+            return
         (name_length,) = _LEN.unpack_from(frame, 0)
         header_end = _LEN.size + name_length
         if len(frame) < header_end:
-            raise DeliveryError(f"truncated mux frame from {source}")
-        name = frame[_LEN.size:header_end].decode("utf-8")
+            self._drop_malformed()
+            return
+        try:
+            name = frame[_LEN.size:header_end].decode("utf-8")
+        except UnicodeDecodeError:
+            self._drop_malformed()
+            return
         channel = self._channels.get(name)
         if channel is None or channel.closed:
             return  # no listener on this channel: drop, like an unbound port
         channel._dispatch(source, frame[header_end:])
+
+    def _drop_malformed(self) -> None:
+        self.malformed_frames += 1
+        get_registry().counter(
+            "transport.malformed", node=self.inner.local_address.node
+        ).inc()
 
     def close(self) -> None:
         for channel in self._channels.values():

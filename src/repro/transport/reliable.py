@@ -13,6 +13,16 @@ bytes)::
 
 Broadcast destinations are sent once, unacknowledged — a broadcast has no
 single acker.
+
+Duplicate suppression is O(1) memory per peer: a cumulative watermark (all
+seqs <= it were delivered) plus a bounded out-of-order window above it.
+Frames beyond ``recv_window`` seqs ahead of the watermark are dropped
+*without* acking, so the sender retransmits them once the window has
+advanced — memory stays bounded without sacrificing exactly-once delivery.
+
+Malformed frames (truncated headers, unknown flags — e.g. chaos-injected
+corruption) are counted and dropped, never raised: a raise here would
+propagate through the simulator event loop and kill the whole run.
 """
 
 from __future__ import annotations
@@ -21,7 +31,8 @@ import struct
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Set, Tuple
 
-from repro.errors import ConfigurationError, DeliveryError
+from repro.errors import ConfigurationError
+from repro.obs.metrics import get_registry
 from repro.obs.tracing import TRACER, SpanContext
 from repro.transport.base import Address, Scheduler, Transport
 from repro.transport.simnet import BROADCAST_NODE
@@ -41,6 +52,7 @@ class ReliabilityParams:
     ack_timeout_s: float = 0.2
     max_retries: int = 5
     backoff_factor: float = 2.0
+    recv_window: int = 1024
 
     def __post_init__(self) -> None:
         if self.ack_timeout_s <= 0:
@@ -49,6 +61,8 @@ class ReliabilityParams:
             raise ConfigurationError(f"max retries must be >= 0, got {self.max_retries!r}")
         if self.backoff_factor < 1.0:
             raise ConfigurationError(f"backoff factor must be >= 1, got {self.backoff_factor!r}")
+        if self.recv_window < 1:
+            raise ConfigurationError(f"recv window must be >= 1, got {self.recv_window!r}")
 
     def timeout_for_attempt(self, attempt: int) -> float:
         """Timeout before the (attempt+1)-th retransmission."""
@@ -56,6 +70,33 @@ class ReliabilityParams:
 
 
 GiveUpCallback = Callable[[Address, bytes], None]
+
+
+class _PeerReceiveState:
+    """Per-peer dedup state: cumulative watermark + out-of-order window.
+
+    Every seq <= ``watermark`` has been delivered; ``window`` holds the
+    delivered seqs above it (bounded by ``ReliabilityParams.recv_window``,
+    enforced by the caller refusing frames too far ahead).
+    """
+
+    __slots__ = ("watermark", "window")
+
+    def __init__(self) -> None:
+        self.watermark = 0
+        self.window: Set[int] = set()
+
+    def is_duplicate(self, seq: int) -> bool:
+        return seq <= self.watermark or seq in self.window
+
+    def mark_delivered(self, seq: int) -> None:
+        self.window.add(seq)
+        watermark = self.watermark
+        window = self.window
+        while watermark + 1 in window:
+            watermark += 1
+            window.discard(watermark)
+        self.watermark = watermark
 
 
 class ReliableTransport(Transport):
@@ -83,11 +124,13 @@ class ReliableTransport(Transport):
             Tuple[Address, int],
             Tuple[bytes, int, object, Optional[SpanContext]],
         ] = {}
-        self._seen: Dict[Address, Set[int]] = {}
+        self._recv: Dict[Address, _PeerReceiveState] = {}
         self.retransmissions = 0
         self.duplicates_suppressed = 0
         self.acks_sent = 0
         self.give_ups = 0
+        self.malformed_frames = 0
+        self.window_overflows = 0
         inner.set_receiver(self._on_frame)
 
     @property
@@ -141,9 +184,8 @@ class ReliableTransport(Transport):
 
     def _on_frame(self, source: Address, frame: bytes) -> None:
         if len(frame) < 1 + _SEQ.size:
-            raise DeliveryError(
-                f"malformed reliable frame from {source}: {len(frame)} bytes"
-            )
+            self._drop_malformed(source, f"truncated ({len(frame)} bytes)")
+            return
         flag, seq = frame[:1], _SEQ.unpack_from(frame, 1)[0]
         if flag == ACK_FLAG:
             entry = self._pending.pop((source, seq), None)
@@ -154,24 +196,46 @@ class ReliableTransport(Transport):
                     cancel()
             return
         if flag != DATA_FLAG:
-            raise DeliveryError(f"unknown reliable frame flag {flag!r} from {source}")
+            self._drop_malformed(source, f"unknown flag {flag!r}")
+            return
         payload = frame[1 + _SEQ.size:]
         if seq == 0:
             # Unacknowledged broadcast frame: deliver as-is.
             self._dispatch(source, payload)
             return
-        # Always ack, even duplicates — the original ack may have been lost.
-        self.acks_sent += 1
-        self.inner.send(source, ACK_FLAG + _SEQ.pack(seq))
-        seen = self._seen.setdefault(source, set())
-        if seq in seen:
+        state = self._recv.get(source)
+        if state is None:
+            state = self._recv[source] = _PeerReceiveState()
+        if state.is_duplicate(seq):
+            # Ack again — the original ack may have been lost.
+            self.acks_sent += 1
+            self.inner.send(source, ACK_FLAG + _SEQ.pack(seq))
             self.duplicates_suppressed += 1
             if TRACER.enabled:
                 TRACER.instant("transport.duplicate",
                                node=self._local.node, peer=source.node, seq=seq)
             return
-        seen.add(seq)
+        if seq > state.watermark + self.params.recv_window:
+            # Too far ahead of the watermark to track without unbounded
+            # state. Dropped *unacked*, so the sender retransmits it after
+            # the gap fills and the watermark catches up.
+            self.window_overflows += 1
+            if TRACER.enabled:
+                TRACER.instant("transport.window_overflow",
+                               node=self._local.node, peer=source.node, seq=seq)
+            return
+        self.acks_sent += 1
+        self.inner.send(source, ACK_FLAG + _SEQ.pack(seq))
+        state.mark_delivered(seq)
         self._dispatch(source, payload)
+
+    def _drop_malformed(self, source: Address, why: str) -> None:
+        self.malformed_frames += 1
+        get_registry().counter("transport.malformed",
+                               node=self._local.node).inc()
+        if TRACER.enabled:
+            TRACER.instant("transport.malformed", node=self._local.node,
+                           peer=source.node, why=why)
 
     # --------------------------------------------------------------- closing
 

@@ -32,14 +32,24 @@ BROADCAST_NODE = BROADCAST
 
 
 class _SimScheduler:
-    def __init__(self, network: Network):
+    """Node-local view of the simulator clock.
+
+    ``skew`` models a drifting local timer: a node with ``skew=1.1`` fires
+    its relative timers 10% late (its timer hardware runs slow), one with
+    ``skew=0.9`` fires 10% early. ``now()`` stays the shared virtual time —
+    skew affects only where *new* timers land, which is what desynchronizes
+    heartbeat/retransmit/advertisement periods between nodes under chaos.
+    """
+
+    def __init__(self, network: Network, skew: float = 1.0):
         self._sim = network.sim
+        self.skew = skew
 
     def now(self) -> float:
         return self._sim.now()
 
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> Any:
-        return self._sim.schedule(delay, fn, *args)
+        return self._sim.schedule(delay * self.skew, fn, *args)
 
 
 class SimFabric:
@@ -48,6 +58,7 @@ class SimFabric:
     def __init__(self, network: Network):
         self.network = network
         self._scheduler = _SimScheduler(network)
+        self._node_schedulers: Dict[str, _SimScheduler] = {}
         # (node_id, port) -> endpoint
         self._endpoints: Dict[Tuple[str, str], "SimTransport"] = {}
         self._dispatching_nodes: Dict[str, Node] = {}
@@ -55,6 +66,28 @@ class SimFabric:
     @property
     def scheduler(self) -> Scheduler:
         return self._scheduler
+
+    def scheduler_for(self, node_id: str) -> Scheduler:
+        """The per-node scheduler (shares the fabric clock until skewed)."""
+        scheduler = self._node_schedulers.get(node_id)
+        if scheduler is None:
+            scheduler = _SimScheduler(self.network)
+            self._node_schedulers[node_id] = scheduler
+        return scheduler
+
+    def set_clock_skew(self, node_id: str, factor: float) -> None:
+        """Stretch (``factor > 1``) or shrink (``< 1``) a node's timer delays.
+
+        Applies to every endpoint of ``node_id`` already created or created
+        later. ``factor=1.0`` restores nominal timing.
+        """
+        if factor <= 0:
+            raise ConfigurationError(
+                f"clock skew factor must be positive, got {factor!r}"
+            )
+        scheduler = self.scheduler_for(node_id)
+        assert isinstance(scheduler, _SimScheduler)
+        scheduler.skew = factor
 
     def endpoint(self, node_id: str, port: str = "default") -> "SimTransport":
         """Create an endpoint for ``node_id:port`` on the simulated network."""
@@ -150,7 +183,7 @@ class SimTransport(Transport):
 
     @property
     def scheduler(self) -> Scheduler:
-        return self._fabric.scheduler
+        return self._fabric.scheduler_for(self._local.node)
 
     @property
     def node(self) -> Node:

@@ -1,0 +1,119 @@
+"""Tests for the chaos campaign engine (E13).
+
+Campaigns here use the short "smoke" timeline (40 virtual seconds) so the
+whole file runs in seconds; the full-length acceptance grid is the
+experiment CLI's job (``python -m repro.experiments.exp_chaos``).
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import exp_chaos
+from repro.experiments.sweep import SWEEPABLE
+from repro.netsim.chaos import (
+    FAULT_MIXES,
+    CampaignSpec,
+    run_campaign,
+    scorecard_bytes,
+)
+
+#: Short-campaign overrides, mirroring the CLI's ``--smoke`` grid: the
+#: 40s duration still leaves room for the slowest retransmission chain
+#: after the last send, so the timer-leak invariant stays meaningful.
+SHORT = dict(
+    duration_s=40.0,
+    heal_deadline_s=24.0,
+    fault_start_s=5.0,
+    bulk_messages=60,
+    transfer_stop_s=22.0,
+)
+
+
+class TestCampaignSpec:
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(mix="meteor-strike", seed=0)
+
+    def test_duration_must_outlive_heal_deadline(self):
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(mix="churn", seed=0, duration_s=30.0,
+                         heal_deadline_s=30.0)
+
+    def test_overrides_flow_through_run_campaign(self):
+        scorecard = run_campaign("churn", 0, **SHORT)
+        assert scorecard["duration_s"] == 40.0
+        assert scorecard["delivery"]["sent"] == 60
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("mix", FAULT_MIXES)
+    def test_short_campaign_passes_all_invariants(self, mix):
+        scorecard = run_campaign(mix, 0, **SHORT)
+        assert scorecard["ok"], scorecard["violations"]
+        invariants = scorecard["invariants"]
+        assert invariants["no_timer_leaks"]
+        assert invariants["exactly_once_delivery"]
+        assert invariants["reconverged"]
+        assert invariants["transactions_atomic"]
+        assert invariants["heartbeat_exact"]
+        assert scorecard["ledger"]["conserved"]
+
+    def test_churn_campaign_injects_and_detects_crashes(self):
+        scorecard = run_campaign("churn", 1, **SHORT)
+        assert scorecard["ok"], scorecard["violations"]
+        assert scorecard["faults"]["crashes"] >= 3
+        heartbeat = scorecard["heartbeat"]
+        assert heartbeat["episodes"] >= 3
+        assert heartbeat["detected"] == heartbeat["episodes"]
+        assert heartbeat["missed"] == 0
+
+    def test_corrupt_campaign_exercises_the_hardened_decode_paths(self):
+        scorecard = run_campaign("corrupt", 0, **SHORT)
+        assert scorecard["ok"], scorecard["violations"]
+        faults = scorecard["faults"]
+        assert faults["frames_corrupted"] + faults["frames_truncated"] > 0
+        # Corrupted frames are counted and dropped, never raised.
+        assert scorecard["malformed_frames"] > 0
+
+    def test_partition_campaign_drops_at_the_reachability_filter(self):
+        scorecard = run_campaign("partition", 0, **SHORT)
+        assert scorecard["ok"], scorecard["violations"]
+        assert scorecard["medium"]["drops_partitioned"] > 0
+        assert scorecard["faults"]["partitions"] >= 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_mix_byte_identical_scorecard(self):
+        first = scorecard_bytes(run_campaign("corrupt", 3, **SHORT))
+        second = scorecard_bytes(run_campaign("corrupt", 3, **SHORT))
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        a = scorecard_bytes(run_campaign("churn", 0, **SHORT))
+        b = scorecard_bytes(run_campaign("churn", 1, **SHORT))
+        assert a != b
+
+
+class TestExperimentHarness:
+    def test_run_one_row_shape(self):
+        row = exp_chaos.run_one("churn", 0, **SHORT)
+        assert row["mix"] == "churn"
+        assert row["ok"] is True
+        assert row["violations"] == 0
+        assert 0.0 < row["delivery_ratio"] <= 1.0
+        assert "/" in row["hb_detected"]
+
+    def test_chaos_is_sweepable(self):
+        assert "chaos" in SWEEPABLE
+
+    def test_cli_smoke_exits_zero(self, tmp_path):
+        out = tmp_path / "scorecards.json"
+        code = exp_chaos.main(
+            ["--smoke", "--seeds", "0", "--mixes", "churn",
+             "--json", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+
+    def test_cli_rejects_unknown_mix(self):
+        assert exp_chaos.main(["--mixes", "nope"]) == 2

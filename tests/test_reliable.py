@@ -156,3 +156,56 @@ class TestStack:
         stack = build_stack(fabric.endpoint("a"), StackSpec(multiplexed=False))
         with pytest.raises(ValueError):
             stack.channel("x")
+
+
+class TestBoundedDedupState:
+    """The ``_seen``-set regression: per-peer dedup state must stay O(1)
+    (cumulative watermark + bounded out-of-order window), not grow with
+    every message ever received."""
+
+    def test_soak_10k_messages_o1_receiver_state(self):
+        fabric, a, b = reliable_pair()
+        got = []
+        b.set_receiver(lambda src, data: got.append(data))
+        for i in range(10_000):
+            a.send(b.local_address, i.to_bytes(4, "big"))
+        fabric.run()
+        assert len(got) == 10_000
+        state = b._recv[a.local_address]
+        assert state.watermark == 10_000
+        # In-order delivery: the out-of-order window never retains anything.
+        assert len(state.window) == 0
+        assert len(a._pending) == 0
+        assert a.give_ups == 0
+
+    def test_window_overflow_drops_unacked_then_retransmission_delivers(self):
+        params = ReliabilityParams(ack_timeout_s=0.1, max_retries=12,
+                                   recv_window=8)
+        fabric, a, b = reliable_pair(loss=0.3, seed=3, params=params)
+        got = []
+        b.set_receiver(lambda src, data: got.append(data))
+        for i in range(40):
+            a.send(b.local_address, i.to_bytes(4, "big"))
+        fabric.run()
+        # Everything lands exactly once despite loss and window overflows.
+        assert sorted(got) == [i.to_bytes(4, "big") for i in range(40)]
+        assert b.window_overflows > 0
+        assert a.give_ups == 0
+        state = b._recv[a.local_address]
+        assert state.watermark == 40
+        assert len(state.window) == 0
+
+    def test_malformed_frames_counted_and_dropped(self):
+        fabric, a, b = reliable_pair()
+        got = []
+        b.set_receiver(lambda src, data: got.append(data))
+        raw = fabric.endpoint("c")
+        raw.send(b.local_address, b"D\x00")  # truncated header
+        raw.send(b.local_address, b"Z" + bytes(RELIABLE_HEADER_BYTES))  # bad flag
+        fabric.run()
+        assert b.malformed_frames == 2
+        assert got == []
+        # The transport keeps working afterwards.
+        a.send(b.local_address, b"still-alive")
+        fabric.run()
+        assert got == [b"still-alive"]
