@@ -1,0 +1,62 @@
+"""Simulation-testing throughput benchmarks.
+
+The explorer's value scales directly with executions per second: a budget
+of 500 scenarios only earns its keep in CI if a run stays in the
+millisecond range. These benches track the cost of one full simulated
+world (build + run + oracle lockstep + linearizability checking) and of a
+complete shrink, so a regression that makes exploration 10x slower shows
+up as a number, not as a mysteriously slow CI job.
+
+Standalone: NOT part of the ``run_benchmarks.py`` perf gate (a whole-world
+run is macro-scale and noisier than the micro ops gated there). Run it
+directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_simtest.py -q
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simtest.explorer import scenario_for_iteration
+from repro.simtest.scenario import Scenario, Step, generate_scenario
+from repro.simtest.shrinker import shrink
+from repro.simtest.world import execute_scenario
+
+pytest_plugins = ("pytest_benchmark",)
+
+
+def test_execute_midsize_scenario(benchmark):
+    scenario = scenario_for_iteration(0, 0)
+    result = benchmark(execute_scenario, scenario)
+    assert result.ok
+
+
+def test_execute_fault_heavy_scenario(benchmark):
+    scenario = generate_scenario(11, 11, n_steps=44, fault_fraction=0.5)
+    result = benchmark(execute_scenario, scenario)
+    assert result.ok
+
+
+def test_scenario_generation(benchmark):
+    scenario = benchmark(generate_scenario, 3, 4, 40)
+    assert len(scenario.steps) == 40
+
+
+def test_shrink_directed_trigger(benchmark):
+    scenario = Scenario(
+        seed=7,
+        tie_seed=7,
+        steps=(
+            Step(0.5, "so_write", ("cfg", 111, 1)),
+            Step(1.0, "partition", (1, 1.2)),
+            Step(1.3, "so_write", ("cfg", 222, 0)),
+            Step(1.6, "so_read", ("cfg", 0)),
+            Step(2.6, "so_read", ("cfg", 1)),
+        ),
+    )
+    result = benchmark(
+        shrink, scenario, ("linearizability-so", "non-linearizable"),
+        "eager-get",
+    )
+    assert result.steps <= 5

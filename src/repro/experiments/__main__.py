@@ -30,6 +30,7 @@ from repro.experiments import (
     exp_recovery,
     exp_routing,
     exp_scheduling,
+    exp_simtest,
     exp_spatial,
     exp_transactions,
 )
@@ -58,6 +59,8 @@ EXPERIMENTS: Dict[str, List[Tuple[str, Callable[[], list]]]] = {
     ],
     "adaptation": [("E11: plug-and-play adaptation", exp_adaptation.run)],
     "chaos": [("E13: chaos campaign resilience scorecards", exp_chaos.run)],
+    "simtest": [("E14: planted-defect detection via simulation testing",
+                 exp_simtest.run)],
     "netindep": [
         ("E12: network independence", exp_netindep.run),
         ("E12 ablation: retransmission policy",

@@ -85,6 +85,12 @@ def _chaos(seed: int) -> List[Dict[str, Any]]:
     return exp_chaos.run(seed=seed)
 
 
+def _simtest(seed: int) -> List[Dict[str, Any]]:
+    from repro.experiments import exp_simtest
+
+    return exp_simtest.run(seed=seed)
+
+
 def _selftest(seed: int) -> List[Dict[str, Any]]:
     """Harness self-test: instant, deterministic, exercises the merge path."""
     return [{"seed": seed, "square": seed * seed}]
@@ -98,6 +104,7 @@ SWEEPABLE: Dict[str, Callable[[int], List[Dict[str, Any]]]] = {
     "routing": _routing,
     "spatial": _spatial,
     "chaos": _chaos,
+    "simtest": _simtest,
     "selftest": _selftest,
 }
 

@@ -52,10 +52,17 @@ class FrameCorruptor:
     so enabling corruption does not perturb the medium's loss/contention
     stream. Only transport-shaped payloads — ``(src_port, dst_port, bytes)``
     tuples — are mangled; raw simulator payloads pass through untouched.
+
+    ``only_ports`` narrows the blast radius to frames addressed to the
+    given destination ports. The simulation-testing harness uses this to
+    tamper with a stream that carries end-to-end integrity protection
+    (:mod:`repro.transport.secure`) while leaving unauthenticated control
+    protocols untouched, so oracle checks stay meaningful under corruption.
     """
 
     def __init__(self, seed: int, probability: float = 0.05,
-                 truncate_fraction: float = 0.5):
+                 truncate_fraction: float = 0.5,
+                 only_ports: Optional[Sequence[str]] = None):
         if not 0.0 <= probability <= 1.0:
             raise ConfigurationError(
                 f"corruption probability must be in [0, 1], got {probability!r}"
@@ -63,6 +70,7 @@ class FrameCorruptor:
         self._rng = split_rng(seed, "corruptor")
         self.probability = probability
         self.truncate_fraction = truncate_fraction
+        self.only_ports = None if only_ports is None else frozenset(only_ports)
         self.active_windows = 0
         self.corrupted = 0
         self.truncated = 0
@@ -71,6 +79,8 @@ class FrameCorruptor:
         payload = packet.payload
         if not (isinstance(payload, tuple) and len(payload) == 3
                 and isinstance(payload[2], (bytes, bytearray))):
+            return packet
+        if self.only_ports is not None and payload[1] not in self.only_ports:
             return packet
         if self._rng.random() >= self.probability:
             return packet
@@ -299,18 +309,23 @@ class FailureInjector:
         duration: float,
         probability: float = 0.05,
         truncate_fraction: float = 0.5,
+        only_ports: Optional[Sequence[str]] = None,
     ) -> FrameCorruptor:
         """A window during which received frames are corrupted or truncated.
 
         ``probability`` is per-reception; ``truncate_fraction`` of the
         affected frames are truncated, the rest get a byte flipped.
-        Overlapping windows share one :class:`FrameCorruptor` (the injector's
-        corruption stream), which stays installed until the last window ends.
-        Returns the corruptor, whose counters feed scorecards.
+        ``only_ports``, if given, restricts tampering to frames addressed
+        to those destination ports (first window wins; overlapping windows
+        share the injector's single corruptor). Overlapping windows share
+        one :class:`FrameCorruptor` (the injector's corruption stream),
+        which stays installed until the last window ends. Returns the
+        corruptor, whose counters feed scorecards.
         """
         if self._corruptor is None:
             self._corruptor = FrameCorruptor(
-                self._corruptor_seed, probability, truncate_fraction
+                self._corruptor_seed, probability, truncate_fraction,
+                only_ports=only_ports,
             )
         corruptor = self._corruptor
         medium = self.network.medium

@@ -22,7 +22,7 @@ from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.util.clock import ManualClock
-from repro.util.priorityqueue import StablePriorityQueue, _REMOVED
+from repro.util.priorityqueue import StablePriorityQueue, _ITEM, _REMOVED
 
 #: A queue item: the callback and its (possibly empty) argument tuple.
 Event = Tuple[Callable[..., None], Tuple[Any, ...]]
@@ -71,6 +71,18 @@ class Simulator:
         ``is None`` check per event.
         """
         self._profiler = profiler
+
+    def set_tie_breaker(self, tie_breaker: Optional[Callable[[], Any]]) -> None:
+        """Install (or clear) a secondary ordering key for same-time events.
+
+        By default events scheduled for the same instant fire in scheduling
+        order (the queue's monotonic sequence number). A tie-breaker is
+        called once per scheduled event and its value orders same-time
+        events ahead of that sequence number — the schedule-exploration
+        hook used by :mod:`repro.simtest` to perturb event interleavings
+        with a seeded RNG while staying exactly replayable.
+        """
+        self._queue.set_tie_breaker(tie_breaker)
 
     # ------------------------------------------------------------------ time
 
@@ -159,7 +171,7 @@ class Simulator:
         profiler = self._profiler
         while heap:
             entry = heap[0]
-            item = entry[2]
+            item = entry[_ITEM]
             if item is removed:
                 heappop(heap)
                 continue
@@ -167,7 +179,7 @@ class Simulator:
             if when > deadline:
                 break
             heappop(heap)
-            entry[2] = removed  # a late cancel() of the handle is a no-op
+            entry[_ITEM] = removed  # a late cancel() of the handle is a no-op
             queue._live -= 1
             clock._now = when
             self.events_processed += 1
@@ -200,10 +212,10 @@ class Simulator:
         processed = 0
         while heap:
             entry = heappop(heap)
-            item = entry[2]
+            item = entry[_ITEM]
             if item is removed:
                 continue
-            entry[2] = removed
+            entry[_ITEM] = removed
             queue._live -= 1
             clock._now = entry[0]
             self.events_processed += 1

@@ -1,0 +1,54 @@
+"""Deterministic simulation testing in the FoundationDB style.
+
+Every run is a pure function of a :class:`~repro.simtest.scenario.Scenario`
+(itself a pure function of an integer seed): the workload, the fault
+schedule, and even the event-loop tie-breaking are all derived from seeds,
+so any execution — including one found by random exploration — can be
+replayed bit-for-bit from a few integers.
+
+The pieces:
+
+* :mod:`repro.simtest.scenario` — the serializable trace of workload and
+  fault steps a run executes.
+* :mod:`repro.simtest.world` — a small fixed deployment (4 nodes over an
+  ideal radio, so the only nondeterminism is injected) that executes a
+  scenario with every oracle attached.
+* :mod:`repro.simtest.oracles` — abstract reference models (reliable
+  delivery, discovery convergence, ledger atomicity, MiLAN feasible sets)
+  stepped in lockstep with the implementation.
+* :mod:`repro.simtest.linearizability` — a Wing–Gong checker run over the
+  recorded shared-object, tuple-space, and ledger histories.
+* :mod:`repro.simtest.explorer` — drives many short randomized executions,
+  perturbing schedules and injecting faults, until a divergence appears or
+  the budget runs out.
+* :mod:`repro.simtest.shrinker` — minimizes a diverging scenario by greedy
+  deletion/reordering and emits a replayable repro file.
+* :mod:`repro.simtest.plants` — deliberately-broken variants used to prove
+  the harness can catch (and shrink) real bugs.
+
+CLI: ``python -m repro.simtest run --budget 500 --seed 0`` explores;
+``python -m repro.simtest repro <file>`` replays a minimized repro.
+"""
+
+from repro.simtest.explorer import ExplorationReport, explore
+from repro.simtest.linearizability import Op, check_linearizable
+from repro.simtest.oracles import Divergence
+from repro.simtest.scenario import Scenario, Step, generate_scenario
+from repro.simtest.shrinker import load_repro, shrink, write_repro
+from repro.simtest.world import RunResult, execute_scenario
+
+__all__ = [
+    "Divergence",
+    "ExplorationReport",
+    "Op",
+    "RunResult",
+    "Scenario",
+    "Step",
+    "check_linearizable",
+    "execute_scenario",
+    "explore",
+    "generate_scenario",
+    "load_repro",
+    "shrink",
+    "write_repro",
+]

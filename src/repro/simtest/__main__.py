@@ -1,0 +1,143 @@
+"""CLI for the simulation-testing framework.
+
+::
+
+    python -m repro.simtest run --budget 500 --seed 0
+    python -m repro.simtest run --budget 60 --seed 1 --plant broken-watermark \
+        --expect-divergence --repro-out simtest-repro.json
+    python -m repro.simtest repro simtest-repro.json
+    python -m repro.simtest plants
+
+``run`` explores; on divergence it shrinks the trace, writes a repro file,
+and exits 1 (or 0 with ``--expect-divergence``, the planted-bug smoke
+mode, which also verifies the written repro replays). ``repro`` replays a
+repro file and exits 0 iff the recorded divergence reproduces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.simtest.explorer import explore
+from repro.simtest.plants import PLANTS
+from repro.simtest.shrinker import replay_repro, shrink, write_repro
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    def progress(iteration: int, totals: dict) -> None:
+        if args.progress_every and (iteration + 1) % args.progress_every == 0:
+            print(f"  ... {iteration + 1}/{args.budget} runs clean "
+                  f"({totals.get('events', 0)} events)")
+
+    report = explore(args.budget, args.seed, steps=args.steps,
+                     plant=args.plant, on_progress=progress)
+    summary = {
+        "seed": args.seed,
+        "budget": args.budget,
+        "runs": report.runs,
+        "plant": args.plant,
+        "ok": report.ok,
+        "totals": dict(sorted(report.totals.items())),
+        "divergences": [d.to_dict() for d in report.divergences],
+    }
+    if report.ok:
+        print(f"simtest: {report.runs} runs, zero divergences "
+              f"({report.totals.get('events', 0)} events, "
+              f"{report.totals.get('lin_objects', 0)} histories checked)")
+        if args.json:
+            _write_json(args.json, summary)
+        return 0
+
+    first = report.divergences[0]
+    scenario = report.divergent_scenario
+    assert scenario is not None
+    print(f"simtest: divergence after {report.runs} runs: "
+          f"[{first.oracle}/{first.kind}] {first.detail}")
+    print(f"  scenario: seed={scenario.seed} tie_seed={scenario.tie_seed} "
+          f"steps={len(scenario.steps)}")
+    result = shrink(scenario, first.signature, plant=args.plant,
+                    max_replays=args.shrink_budget)
+    print(f"  shrunk: {result.initial_steps} -> {result.steps} steps "
+          f"in {result.replays} replays")
+    write_repro(args.repro_out, result.scenario, result.signature,
+                plant=args.plant, detail=first.detail)
+    print(f"  repro written to {args.repro_out}")
+    summary["shrunk_steps"] = result.steps
+    summary["repro"] = args.repro_out
+    if args.json:
+        _write_json(args.json, summary)
+    if args.expect_divergence:
+        reproduced, _observed = replay_repro(args.repro_out)
+        if not reproduced:
+            print("  ERROR: written repro does not replay", file=sys.stderr)
+            return 1
+        print("  repro verified: replays deterministically")
+        return 0
+    return 1
+
+
+def _cmd_repro(args: argparse.Namespace) -> int:
+    reproduced, observed = replay_repro(args.file)
+    if reproduced:
+        print(f"repro: divergence reproduced ({observed[0][0]}/"
+              f"{observed[0][1]})")
+        return 0
+    print(f"repro: expected divergence did NOT reproduce "
+          f"(observed: {observed})", file=sys.stderr)
+    return 1
+
+
+def _cmd_plants(_args: argparse.Namespace) -> int:
+    for name in sorted(PLANTS):
+        print(f"{name}: {PLANTS[name][1]}")
+    return 0
+
+
+def _write_json(path: str, payload: dict) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.simtest",
+        description="Deterministic simulation testing.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="explore schedules and faults")
+    run.add_argument("--budget", type=int, default=200,
+                     help="number of randomized executions (default 200)")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--steps", type=int, default=None,
+                     help="pin the per-scenario step count")
+    run.add_argument("--plant", choices=sorted(PLANTS), default=None,
+                     help="install a deliberately broken variant")
+    run.add_argument("--shrink-budget", type=int, default=400,
+                     help="max replays during shrinking (default 400)")
+    run.add_argument("--repro-out", default="simtest-repro.json")
+    run.add_argument("--json", default=None,
+                     help="write a machine-readable summary here")
+    run.add_argument("--progress-every", type=int, default=100)
+    run.add_argument("--expect-divergence", action="store_true",
+                     help="exit 0 iff a divergence was found, shrunk, and "
+                          "its repro replays (planted-bug smoke mode)")
+    run.set_defaults(func=_cmd_run)
+
+    repro = commands.add_parser("repro", help="replay a minimized repro file")
+    repro.add_argument("file")
+    repro.set_defaults(func=_cmd_repro)
+
+    plants = commands.add_parser("plants", help="list available plants")
+    plants.set_defaults(func=_cmd_plants)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

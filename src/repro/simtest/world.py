@@ -1,0 +1,493 @@
+"""The simtest world: a fixed deployment that executes one scenario.
+
+Four nodes on an ideal (lossless, constant-latency) radio, so the *only*
+nondeterminism in a run is what the scenario injects — faults from the
+PR-4 vocabulary and seeded event-loop tie-breaking. Roles:
+
+* ``n0_0`` (monitor): issues discovery lookups (cache disabled, so replies
+  come from providers' authoritative state), RPC transfers, shared-object
+  and tuple-space operations; receives the reliable bulk stream.
+* ``n0_1`` (helper): second client for every subsystem; provides the
+  dynamic ``extra*`` services; a crash/blip target.
+* ``n1_0`` (spare): a crash/blip target that keeps floods interesting.
+* ``n1_1`` (server): the transactional ledger, the shared-object host
+  (write-through-acks mode — the linearizable protocol), the tuple-space
+  server, and the bulk-stream sender. Never crashed, so end-of-run
+  accounting is always meaningful.
+
+The bulk stream runs reliable-over-secure, and frame tampering is scoped
+to the bulk port: a tampered frame fails authentication and is dropped,
+so to the delivery oracle corruption is indistinguishable from loss — the
+model stays sound while the fault vocabulary stays rich. Discovery, RPC,
+shared-object, and tuple-space traffic see crashes, partitions, loss, and
+latency, whose effects the respective oracles and the linearizability
+checker judge.
+
+Every workload operation is recorded as an interval (invoke/response) and
+fed to the Wing–Gong checker at the end of the run, split per independent
+object (each shared-object key, each tuple kind, the ledger).
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.discovery.matching import Query
+from repro.netsim import topology
+from repro.netsim.failures import FailureInjector
+from repro.netsim.medium import IDEAL_RADIO
+from repro.obs.metrics import get_registry
+from repro.simtest.linearizability import (
+    CheckAborted,
+    LedgerModel,
+    Op,
+    RegisterModel,
+    TupleSpaceModel,
+    check_linearizable,
+)
+from repro.simtest.oracles import (
+    DeliveryOracle,
+    DiscoveryOracle,
+    Divergence,
+    LedgerOracle,
+    MilanOracle,
+)
+from repro.simtest.scenario import (
+    ACCOUNTS,
+    INITIAL_BALANCE,
+    PARTITION_GROUPS,
+    Scenario,
+)
+from repro.transactions.sharedobjects import SharedObjectCache, SharedObjectHost
+from repro.transactions.tuplespace import TupleSpaceClient, TupleSpaceServer
+from repro.transport.base import Address
+from repro.transport.reliable import ReliabilityParams, ReliableTransport
+from repro.transport.secure import SecureTransport
+from repro.transport.simnet import SimFabric
+from repro.middleware import MiddlewareNode
+from repro.util.rng import split_rng
+
+MONITOR = "n0_0"
+HELPER = "n0_1"
+SPARE = "n1_0"
+SERVER = "n1_1"
+
+_BULK_PORT = "bulk"
+_SO_PORT = "so"
+_TS_PORT = "ts"
+_KEY = b"simtest-shared-key"
+
+_INDEX = struct.Struct(">I")
+
+#: Bulk-stream reliability: a small window and retry budget so scenarios
+#: exercise overflow and give-up paths; the full backoff chain is
+#: 0.2+0.4+0.8+1.6+3.2 = 6.2 s, which the quiesce margin must cover.
+_BULK_PARAMS = ReliabilityParams(ack_timeout_s=0.2, max_retries=4,
+                                 backoff_factor=2.0, recv_window=8)
+_BULK_CHAIN_S = sum(
+    _BULK_PARAMS.timeout_for_attempt(a)
+    for a in range(_BULK_PARAMS.max_retries + 1)
+)
+
+_RPC_TIMEOUT_S = 1.0
+_RPC_RETRIES = 2
+
+#: Padding appended to bulk payloads after the 4-byte index.
+_BULK_PADDING = b"x" * 12
+
+
+class SimLedger:
+    """The idempotent transfer ledger (the chaos campaign's, locally owned
+    so :mod:`repro.simtest.plants` can break it without touching chaos)."""
+
+    def __init__(self) -> None:
+        self.balances: Dict[str, int] = {a: INITIAL_BALANCE for a in ACCOUNTS}
+        self.applied: set = set()
+
+    def transfer(self, txid: str, src: str, dst: str, amount: int) -> bool:
+        if txid in self.applied:
+            return True
+        self.applied.add(txid)
+        self.balances[src] -= amount
+        self.balances[dst] += amount
+        return True
+
+    def ping(self) -> str:
+        return "pong"
+
+
+@dataclass
+class RunResult:
+    """Everything a run produced; a pure function of the scenario."""
+
+    divergences: List[Divergence]
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def signatures(self) -> List[Tuple[str, str]]:
+        return [d.signature for d in self.divergences]
+
+
+class _OpRecord:
+    __slots__ = ("obj", "client", "op", "args", "invoke", "response", "result")
+
+    def __init__(self, obj: Tuple[str, ...], client: str, op: str,
+                 args: Tuple[Any, ...], invoke: float):
+        self.obj = obj
+        self.client = client
+        self.op = op
+        self.args = args
+        self.invoke = invoke
+        self.response: Optional[float] = None
+        self.result: Any = None
+
+
+class SimWorld:
+    """Builds the deployment for one scenario and runs it to completion."""
+
+    def __init__(self, scenario: Scenario):
+        self.scenario = scenario
+        get_registry().reset()
+
+        self.network = topology.grid(
+            2, 2, spacing=60.0, radio_profile=IDEAL_RADIO, seed=scenario.seed
+        )
+        self.sim = self.network.sim
+        self.sim.set_tie_breaker(
+            split_rng(scenario.tie_seed, "simtest.ties").random
+        )
+        self.fabric = SimFabric(self.network)
+        self.injector = FailureInjector(self.network, seed=scenario.seed)
+
+        self.delivery = DeliveryOracle(_BULK_PARAMS.recv_window)
+        self.discovery = DiscoveryOracle()
+        self.ledger_oracle = LedgerOracle(
+            {a: INITIAL_BALANCE for a in ACCOUNTS}
+        )
+        self.milan = MilanOracle()
+        self.divergences: List[Divergence] = []
+        self._history: List[_OpRecord] = []
+        self.stats: Dict[str, int] = defaultdict(int)
+
+        # --- middleware nodes -------------------------------------------
+        self.nodes: Dict[str, MiddlewareNode] = {
+            node_id: MiddlewareNode(
+                self.fabric, node_id, discovery_ttl=2, collect_window_s=0.5
+            )
+            for node_id in (MONITOR, HELPER, SPARE, SERVER)
+        }
+        self.nodes[MONITOR].discovery.use_cache = False
+        self._clients = (self.nodes[MONITOR], self.nodes[HELPER])
+
+        # --- ledger service ---------------------------------------------
+        self.ledger = SimLedger()
+        self.nodes[SERVER].provide(
+            "ledger", "ledger",
+            {
+                "transfer": self._serve_transfer,
+                "ping": self.ledger.ping,
+                "balance": lambda acct: self.ledger.balances[acct],
+            },
+        )
+        self.discovery.note_provided(0.0, "ledger", "ledger", SERVER)
+        self._server_svc = f"{SERVER}:svc"
+
+        # --- reliable-over-secure bulk stream ---------------------------
+        self._bulk_dst = Address(MONITOR, _BULK_PORT)
+        secure_recv = SecureTransport(
+            self.fabric.endpoint(MONITOR, _BULK_PORT), _KEY
+        )
+        self.bulk_receiver = ReliableTransport(secure_recv, _BULK_PARAMS)
+        self.bulk_receiver.set_receiver(self._on_bulk_payload)
+        inner_on_frame = self.bulk_receiver._on_frame
+
+        def checked_on_frame(source: Address, frame: bytes) -> None:
+            before = len(self.delivery.delivered)
+            inner_on_frame(source, frame)
+            self.delivery.check_frame(
+                self.sim.now(), source, frame, self.bulk_receiver, before
+            )
+
+        secure_recv.set_receiver(checked_on_frame)
+        self.bulk_sender = ReliableTransport(
+            SecureTransport(self.fabric.endpoint(SERVER, _BULK_PORT), _KEY),
+            _BULK_PARAMS,
+            on_give_up=lambda _dest, payload: self.delivery.note_gave_up(payload),
+        )
+
+        # --- shared objects (linearizable mode) and tuple space ---------
+        self.so_host = SharedObjectHost(
+            self.fabric.endpoint(SERVER, _SO_PORT), write_through_acks=True
+        )
+        self.so_caches = tuple(
+            SharedObjectCache(
+                self.fabric.endpoint(node_id, _SO_PORT),
+                Address(SERVER, _SO_PORT),
+            )
+            for node_id in (MONITOR, HELPER)
+        )
+        self.ts_server = TupleSpaceServer(self.fabric.endpoint(SERVER, _TS_PORT))
+        self.ts_clients = tuple(
+            TupleSpaceClient(
+                self.fabric.endpoint(node_id, _TS_PORT),
+                Address(SERVER, _TS_PORT),
+            )
+            for node_id in (MONITOR, HELPER)
+        )
+
+        # --- schedule the scenario --------------------------------------
+        heal_by = scenario.horizon_s
+        for step in scenario.steps:
+            if step.op == "crash":
+                node, downtime = step.args
+                self.injector.crash_and_recover(node, step.at, downtime)
+                self.discovery.note_fault(step.at, step.at + downtime + 0.05,
+                                          (node,))
+                heal_by = max(heal_by, step.at + downtime)
+            elif step.op == "blip":
+                self.injector.crash_and_recover(step.args[0], step.at, 0.0)
+                self.discovery.note_fault(step.at, step.at + 0.05,
+                                          (step.args[0],))
+            elif step.op == "partition":
+                group_index, duration = step.args
+                self.injector.partition_at(
+                    step.at, PARTITION_GROUPS[group_index], duration
+                )
+                self.discovery.note_fault(step.at, step.at + duration + 0.05)
+                heal_by = max(heal_by, step.at + duration)
+            elif step.op == "loss":
+                duration, extra_loss = step.args
+                self.injector.loss_burst_at(step.at, duration, extra_loss)
+                self.discovery.note_fault(step.at, step.at + duration + 0.05)
+                heal_by = max(heal_by, step.at + duration)
+            elif step.op == "degrade":
+                duration, extra_latency = step.args
+                self.injector.degrade_at(step.at, duration,
+                                         extra_latency_s=extra_latency)
+                self.discovery.note_fault(
+                    step.at, step.at + duration + extra_latency + 0.05
+                )
+                heal_by = max(heal_by, step.at + duration + extra_latency)
+            elif step.op == "tamper":
+                duration, probability = step.args
+                self.injector.corrupt_frames_at(
+                    step.at, duration, probability, only_ports=(_BULK_PORT,)
+                )
+                heal_by = max(heal_by, step.at + duration)
+            else:
+                self.sim.schedule_at(step.at, self._exec_step, step)
+
+        # --- epilogue: post-heal convergence probes and quiesce ----------
+        probe_at = max(scenario.horizon_s, heal_by) + 0.3
+        self.sim.schedule_at(probe_at, self._issue_lookup, "ledger", True)
+        self.sim.schedule_at(probe_at, self._issue_lookup, "extra", True)
+        self.sim.schedule_at(probe_at, self._final_ping)
+        self.end_s = max(
+            scenario.horizon_s + _BULK_CHAIN_S + 0.4,
+            probe_at + _RPC_TIMEOUT_S * (_RPC_RETRIES + 1) + 0.6,
+        )
+
+    # ------------------------------------------------------------- recording
+
+    def _record(self, obj: Tuple[str, ...], client: str, op: str,
+                args: Tuple[Any, ...], promise: Any) -> _OpRecord:
+        record = _OpRecord(obj, client, op, args, self.sim.now())
+        self._history.append(record)
+
+        def settle(settled: Any) -> None:
+            if settled.fulfilled:
+                record.response = self.sim.now()
+                record.result = settled.result()
+
+        promise.on_settle(settle)
+        return record
+
+    # ------------------------------------------------------------- workload
+
+    def _exec_step(self, step: Any) -> None:
+        op, args = step.op, step.args
+        if op == "bulk":
+            index = args[0]
+            self.delivery.note_sent(index)
+            self.stats["bulk_sent"] += 1
+            self.bulk_sender.send(
+                self._bulk_dst, _INDEX.pack(index) + _BULK_PADDING
+            )
+        elif op == "transfer":
+            txid, src, dst, amount, client = args
+            promise = self._clients[client].rpc.call(
+                Address.parse(self._server_svc), "transfer",
+                {"txid": txid, "src": src, "dst": dst, "amount": amount},
+                timeout_s=_RPC_TIMEOUT_S, retries=_RPC_RETRIES,
+            )
+            self._record(("ledger",), f"c{client}", "transfer",
+                         (txid, src, dst, amount), promise)
+
+            def note_acked(settled: Any, txid: str = txid) -> None:
+                if settled.fulfilled:
+                    self.ledger_oracle.note_acked(txid)
+
+            promise.on_settle(note_acked)
+        elif op == "balance":
+            acct, client = args
+            promise = self._clients[client].rpc.call(
+                Address.parse(self._server_svc), "balance", {"acct": acct},
+                timeout_s=_RPC_TIMEOUT_S, retries=_RPC_RETRIES,
+            )
+            self._record(("ledger",), f"c{client}", "balance", (acct,), promise)
+        elif op == "lookup":
+            self._issue_lookup(args[0], False)
+        elif op == "provide":
+            service_id = f"extra{args[0]}"
+            self.nodes[HELPER].provide(service_id, "extra", {},
+                                       attributes={"idx": str(args[0])})
+            self.discovery.note_provided(self.sim.now(), service_id, "extra",
+                                         HELPER)
+        elif op == "withdraw":
+            service_id = f"extra{args[0]}"
+            self.nodes[HELPER].withdraw(service_id)
+            self.discovery.note_withdrawn(self.sim.now(), service_id)
+        elif op == "so_write":
+            key, value, client = args
+            self.stats["so_ops"] += 1
+            promise = self.so_caches[client].write(key, value)
+            self._record(("so", key), f"c{client}", "write", (value,), promise)
+        elif op == "so_read":
+            key, client = args
+            self.stats["so_ops"] += 1
+            promise = self.so_caches[client].read(key)
+            self._record(("so", key), f"c{client}", "read", (), promise)
+        elif op == "ts_out":
+            kind, value, client = args
+            self.stats["ts_ops"] += 1
+            promise = self.ts_clients[client].out(kind, value, confirm=True)
+            self._record(("ts", kind), f"c{client}", "out", (kind, value),
+                         promise)
+        elif op in ("ts_inp", "ts_rdp", "ts_in"):
+            kind, client = args
+            self.stats["ts_ops"] += 1
+            ts = self.ts_clients[client]
+            if op == "ts_inp":
+                promise = ts.inp(kind, None)
+            elif op == "ts_rdp":
+                promise = ts.rdp(kind, None)
+            else:
+                promise = ts.in_(kind, None)
+            self._record(("ts", kind), f"c{client}", op[3:], (), promise)
+        elif op == "milan":
+            self.milan.check_fleet(self.sim.now(), args[0])
+            self.stats["milan_checked"] += 1
+        else:
+            raise ValueError(f"unknown scenario op {op!r}")
+
+    def _serve_transfer(self, txid: str, src: str, dst: str,
+                        amount: int) -> bool:
+        result = self.ledger.transfer(txid, src, dst, amount)
+        self.ledger_oracle.apply_transfer(
+            self.sim.now(), txid, src, dst, amount, self.ledger
+        )
+        return result
+
+    def _on_bulk_payload(self, _source: Address, payload: bytes) -> None:
+        self.stats["bulk_delivered"] += 1
+        self.delivery.note_delivered(self.sim.now(), payload)
+
+    def _issue_lookup(self, service_type: str, exact: bool) -> None:
+        issued = self.sim.now()
+        self.stats["lookups"] += 1
+        promise = self.nodes[MONITOR].find(
+            Query(service_type, max_results=64)
+        )
+
+        def settle(settled: Any) -> None:
+            results = (
+                [d.service_id for d in settled.result()]
+                if settled.fulfilled else []
+            )
+            self.discovery.check_lookup(issued, self.sim.now(), service_type,
+                                        results, exact=exact)
+
+        promise.on_settle(settle)
+
+    def _final_ping(self) -> None:
+        promise = self.nodes[MONITOR].rpc.call(
+            Address.parse(self._server_svc), "ping", {},
+            timeout_s=_RPC_TIMEOUT_S, retries=_RPC_RETRIES,
+        )
+        self._record(("ledger",), "c0", "ping", (), promise)
+
+        def settle(settled: Any) -> None:
+            if not settled.fulfilled:
+                self.divergences.append(Divergence(
+                    "reconvergence", "rpc-failed", self.sim.now(),
+                    "post-heal ping to the ledger did not complete",
+                ))
+
+        promise.on_settle(settle)
+
+    # --------------------------------------------------------------- running
+
+    def run(self) -> RunResult:
+        self.sim.run_until(self.end_s)
+        now = self.sim.now()
+        self.delivery.finish(now, self.bulk_sender)
+        self.ledger_oracle.finish(now, self.ledger)
+        self._check_linearizability(now)
+
+        divergences = sorted(
+            self.delivery.divergences
+            + self.discovery.divergences
+            + self.ledger_oracle.divergences
+            + self.milan.divergences
+            + self.divergences,
+            key=lambda d: (d.at, d.oracle, d.kind),
+        )
+        self.stats["events"] = self.sim.events_processed
+        self.stats["bulk_gave_up"] = len(self.delivery.gave_up)
+        self.stats["transfers_acked"] = len(self.ledger_oracle.acked)
+        self.stats["milan_checked"] = self.milan.checked
+        return RunResult(divergences, dict(self.stats))
+
+    def _check_linearizability(self, now: float) -> None:
+        groups: Dict[Tuple[str, ...], List[Op]] = defaultdict(list)
+        for record in self._history:
+            groups[record.obj].append(Op(
+                client=record.client, op=record.op, args=record.args,
+                invoke=record.invoke, response=record.response,
+                result=record.result,
+            ))
+        for obj, ops in sorted(groups.items()):
+            if obj[0] == "so":
+                model: Any = RegisterModel()
+            elif obj[0] == "ts":
+                model = TupleSpaceModel()
+            else:
+                model = LedgerModel({a: INITIAL_BALANCE for a in ACCOUNTS})
+            self.stats["lin_objects"] += 1
+            try:
+                verdict = check_linearizable(ops, model)
+            except CheckAborted:
+                self.stats["lin_aborted"] += 1
+                continue
+            if verdict is not None:
+                self.divergences.append(Divergence(
+                    f"linearizability-{obj[0]}", "non-linearizable", now,
+                    f"object {obj}: {verdict}",
+                ))
+
+
+def execute_scenario(scenario: Scenario,
+                     plant: Optional[str] = None) -> RunResult:
+    """Run one scenario (optionally with a planted bug) to a result."""
+    if plant is None:
+        return SimWorld(scenario).run()
+    from repro.simtest.plants import planted
+
+    with planted(plant):
+        return SimWorld(scenario).run()

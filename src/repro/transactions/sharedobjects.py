@@ -9,10 +9,28 @@ invalidation per caching node — the classic trade the E6 workload measures.
 
 Protocol (codec dicts)::
 
-    get:        {"op": "get", "rid", "key"}           -> value + version
-    put:        {"op": "put", "rid", "key", "value"}  -> new version
-    watch:      {"op": "watch", "key"}   (register for invalidations)
-    invalidate: {"op": "invalidate", "key", "version"}
+    get:        {"op": "get", "rid", "key", "watch": true}   -> value + version
+    put:        {"op": "put", "rid", "key", "value", "watch": true} -> new version
+    watch:      {"op": "watch", "key"}   (standalone registration, legacy)
+    invalidate: {"op": "invalidate", "key", "version"[, "wid"]}
+    inv_ack:    {"op": "inv_ack", "wid"}  (write-through-acks mode only)
+
+Watch registration rides *inside* the get/put message rather than as a
+separate frame: over a lossy transport a standalone watch could be dropped
+while the put it accompanied got through, leaving a cache that fills itself
+but never hears invalidations — a stale-read hole no amount of host-side
+care can close.
+
+Consistency: by default writes are acknowledged as soon as the host
+applies them, while invalidations race toward the caches — reads are
+*coherent* (version-monotone per client) but a cache may serve a stale
+value for one invalidation flight-time after a remote write completed.
+With ``write_through_acks=True`` the host withholds the write ack until
+every watcher has acknowledged its invalidation, which closes that window
+and makes the register **linearizable**: once a write returns, no cache
+anywhere still holds the old value. The simulation-testing framework
+(:mod:`repro.simtest`) checks exactly that with a Wing–Gong linearizability
+pass over recorded histories.
 """
 
 from __future__ import annotations
@@ -33,13 +51,36 @@ class _Stored:
 
 
 class SharedObjectHost:
-    """Authoritative object store with watcher invalidation."""
+    """Authoritative object store with watcher invalidation.
 
-    def __init__(self, transport: Transport, codec: Optional[Codec] = None):
+    ``write_through_acks=True`` selects the linearizable write protocol:
+    the put ack is withheld until every watcher (other than the writer)
+    has acknowledged the invalidation, so a completed write guarantees no
+    cache still serves the old value. While a key has writes in that state
+    the host also *defers* reads of it — answering a get mid-invalidation
+    would let a reader observe the new value while another cache can still
+    serve the old one, which breaks the real-time order linearizability
+    promises. A watcher that is down or partitioned stalls the write (and
+    reads of that key) until it acks — callers see pending promises, not
+    stale-read anomalies.
+    """
+
+    def __init__(self, transport: Transport, codec: Optional[Codec] = None,
+                 write_through_acks: bool = False):
         self.transport = transport
         self.codec = codec if codec is not None else get_codec("binary")
+        self.write_through_acks = write_through_acks
         self._objects: Dict[str, _Stored] = {}
         self._watchers: Dict[str, Set[Address]] = {}
+        # wid -> (writer address, rid, key, version, watchers yet to ack).
+        self._pending_writes: Dict[
+            int, Tuple[Address, Any, str, int, Set[Address]]
+        ] = {}
+        self._next_wid = 0
+        # key -> count of writes still gathering inv_acks; gets on such a
+        # key are deferred until the count drains back to zero.
+        self._pending_by_key: Dict[str, int] = {}
+        self._deferred_gets: Dict[str, List[Tuple[Address, Any]]] = {}
         self.reads_served = 0
         self.writes_served = 0
         self.invalidations_sent = 0
@@ -53,44 +94,106 @@ class SharedObjectHost:
         message = self.codec.decode(payload)
         op = message.get("op")
         if op == "get":
-            self.reads_served += 1
-            stored = self._objects.get(message["key"])
-            self.transport.send(
-                source,
-                self.codec.encode(
-                    {
-                        "op": "got",
-                        "rid": message["rid"],
-                        "value": stored.value if stored else None,
-                        "version": stored.version if stored else 0,
-                    }
-                ),
-            )
+            key = message["key"]
+            if message.get("watch"):
+                self._watchers.setdefault(key, set()).add(source)
+            if self._get_must_wait(key):
+                self._deferred_gets.setdefault(key, []).append(
+                    (source, message["rid"])
+                )
+                return
+            self._answer_get(source, message["rid"], key)
         elif op == "put":
             self.writes_served += 1
             key = message["key"]
+            if message.get("watch"):
+                self._watchers.setdefault(key, set()).add(source)
             stored = self._objects.get(key)
             version = (stored.version if stored else 0) + 1
             self._objects[key] = _Stored(message["value"], version)
-            self._invalidate(key, version, exclude=source)
+            waiting = self._invalidate(key, version, exclude=source)
+            if self.write_through_acks and waiting:
+                wid = self._next_wid = self._next_wid + 1
+                self._pending_writes[wid] = (source, message["rid"], key,
+                                             version, set(waiting))
+                self._pending_by_key[key] = self._pending_by_key.get(key, 0) + 1
+                for watcher in waiting:
+                    self._send_invalidate(watcher, key, version, wid)
+                return
+            for watcher in waiting:
+                self._send_invalidate(watcher, key, version, None)
             self.transport.send(
                 source,
                 self.codec.encode(
                     {"op": "put_ack", "rid": message["rid"], "version": version}
                 ),
             )
+        elif op == "inv_ack":
+            self._on_inv_ack(source, message.get("wid"))
         elif op == "watch":
             self._watchers.setdefault(message["key"], set()).add(source)
 
-    def _invalidate(self, key: str, version: int, exclude: Address) -> None:
-        for watcher in sorted(self._watchers.get(key, ()), key=str):
-            if watcher == exclude:
-                continue
-            self.invalidations_sent += 1
-            self.transport.send(
-                watcher,
-                self.codec.encode({"op": "invalidate", "key": key, "version": version}),
-            )
+    def _get_must_wait(self, key: str) -> bool:
+        """Whether a get must be deferred behind in-flight invalidations.
+
+        In write-through mode, answering a get while a write's invalidations
+        are still outstanding leaks the new value to one reader while another
+        cache can still serve the old one — a non-linearizable interleaving.
+        """
+        return bool(self.write_through_acks and self._pending_by_key.get(key))
+
+    def _invalidate(self, key: str, version: int, exclude: Address) -> List[Address]:
+        """Watchers owed an invalidation for this write, in stable order."""
+        return [
+            watcher
+            for watcher in sorted(self._watchers.get(key, ()), key=str)
+            if watcher != exclude
+        ]
+
+    def _send_invalidate(self, watcher: Address, key: str, version: int,
+                         wid: Optional[int]) -> None:
+        self.invalidations_sent += 1
+        message: Dict[str, Any] = {"op": "invalidate", "key": key,
+                                   "version": version}
+        if wid is not None:
+            message["wid"] = wid
+        self.transport.send(watcher, self.codec.encode(message))
+
+    def _answer_get(self, source: Address, rid: Any, key: str) -> None:
+        self.reads_served += 1
+        stored = self._objects.get(key)
+        self.transport.send(
+            source,
+            self.codec.encode(
+                {
+                    "op": "got",
+                    "rid": rid,
+                    "value": stored.value if stored else None,
+                    "version": stored.version if stored else 0,
+                }
+            ),
+        )
+
+    def _on_inv_ack(self, source: Address, wid: Any) -> None:
+        pending = self._pending_writes.get(wid)
+        if pending is None:
+            return
+        writer, rid, key, version, waiting = pending
+        waiting.discard(source)
+        if waiting:
+            return
+        del self._pending_writes[wid]
+        self.transport.send(
+            writer,
+            self.codec.encode({"op": "put_ack", "rid": rid, "version": version}),
+        )
+        remaining = self._pending_by_key.get(key, 1) - 1
+        if remaining > 0:
+            self._pending_by_key[key] = remaining
+            return
+        self._pending_by_key.pop(key, None)
+        for reader, reader_rid in self._deferred_gets.pop(key, ()):
+            self._answer_get(reader, reader_rid, key)
 
 
 class SharedObjectCache:
@@ -109,6 +212,10 @@ class SharedObjectCache:
         # rid -> (promise, key for cache fill or None)
         self._pending: Dict[str, Tuple[Promise, Optional[str]]] = {}
         self._cache: Dict[str, Tuple[Any, int]] = {}
+        # key -> lowest version still admissible in the cache: invalidations
+        # raise it so a late-arriving get reply or put ack (reordered behind
+        # the invalidation that outdates it) can never re-cache stale data.
+        self._floor: Dict[str, int] = {}
         self.cache_hits = 0
         self.cache_misses = 0
         self.invalidations_received = 0
@@ -129,11 +236,9 @@ class SharedObjectCache:
         self._pending[rid] = (promise, key)
         self.transport.send(
             self.host_address,
-            self.codec.encode({"op": "watch", "key": key}),
-        )
-        self.transport.send(
-            self.host_address,
-            self.codec.encode({"op": "get", "rid": rid, "key": key}),
+            self.codec.encode(
+                {"op": "get", "rid": rid, "key": key, "watch": True}
+            ),
         )
         return promise
 
@@ -142,19 +247,22 @@ class SharedObjectCache:
         rid = self._rids.next()
         promise: Promise = Promise()
         self._pending[rid] = (promise, None)
+        # The old cached value is unservable the moment the write is issued:
+        # keeping it would let this client read its own stale data after
+        # another client already observed the new value.
+        self._cache.pop(key, None)
 
         def update_cache(settled: Promise) -> None:
             if settled.fulfilled:
-                self._cache[key] = (value, settled.result())
+                self._admit(key, value, settled.result())
 
         promise.on_settle(update_cache)
         self.transport.send(
             self.host_address,
-            self.codec.encode({"op": "watch", "key": key}),
-        )
-        self.transport.send(
-            self.host_address,
-            self.codec.encode({"op": "put", "rid": rid, "key": key, "value": value}),
+            self.codec.encode(
+                {"op": "put", "rid": rid, "key": key, "value": value,
+                 "watch": True}
+            ),
         )
         return promise
 
@@ -164,14 +272,32 @@ class SharedObjectCache:
 
     # -------------------------------------------------------------- plumbing
 
+    def _admit(self, key: str, value: Any, version: int) -> None:
+        """Cache ``value`` unless a newer version or invalidation outranks it."""
+        if version < self._floor.get(key, 0):
+            return
+        cached = self._cache.get(key)
+        if cached is not None and cached[1] > version:
+            return
+        self._cache[key] = (value, version)
+
     def _on_message(self, source: Address, payload: bytes) -> None:
         message = self.codec.decode(payload)
         op = message.get("op")
         if op == "invalidate":
             self.invalidations_received += 1
-            cached = self._cache.get(message["key"])
-            if cached is not None and cached[1] < message["version"]:
-                del self._cache[message["key"]]
+            key, version = message["key"], message["version"]
+            if self._floor.get(key, 0) < version:
+                self._floor[key] = version
+            cached = self._cache.get(key)
+            if cached is not None and cached[1] < version:
+                del self._cache[key]
+            wid = message.get("wid")
+            if wid is not None:
+                # Write-through-acks host: confirm the stale copy is gone.
+                self.transport.send(
+                    source, self.codec.encode({"op": "inv_ack", "wid": wid})
+                )
             return
         entry = self._pending.pop(message.get("rid"), None)
         if entry is None:
@@ -179,7 +305,7 @@ class SharedObjectCache:
         promise, cache_key = entry
         if op == "got":
             if cache_key is not None and message.get("version", 0) > 0:
-                self._cache[cache_key] = (message.get("value"), message["version"])
+                self._admit(cache_key, message.get("value"), message["version"])
             promise.fulfill(message.get("value"))
         elif op == "put_ack":
             promise.fulfill(message.get("version"))

@@ -1,12 +1,54 @@
-"""Shared fixtures: prebuilt simulated networks and fabrics."""
+"""Shared fixtures, Hypothesis profiles, and marker enforcement."""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.netsim import topology
 from repro.netsim.medium import IDEAL_RADIO
 from repro.transport.simnet import SimFabric
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    # ``ci``: fully derandomized so a red build is reproducible from the
+    # log alone, with an explicit generous deadline (shared CI runners
+    # stall unpredictably; flaky deadline failures teach people to rerun
+    # instead of read). ``dev`` keeps the library defaults, including the
+    # random seed, so local runs keep exploring new inputs.
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        deadline=2000,
+        print_blob=True,
+        suppress_health_check=(HealthCheck.too_slow,),
+    )
+    settings.register_profile("dev")
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover - hypothesis is a dev dependency
+    pass
+
+# Module name prefix -> marker that every test in it must carry. The
+# check fails collection loudly instead of letting an unmarked test dodge
+# ``-m`` selections in CI.
+_REQUIRED_MARKERS = {
+    "test_chaos": "chaos",
+    "test_simtest": "simtest",
+}
+
+
+def pytest_collection_modifyitems(config, items):
+    unmarked = []
+    for item in items:
+        required = _REQUIRED_MARKERS.get(item.module.__name__)
+        if required and not any(m.name == required for m in item.iter_markers()):
+            unmarked.append(f"{item.nodeid} (missing @pytest.mark.{required})")
+    if unmarked:
+        raise pytest.UsageError(
+            "marker enforcement: " + "; ".join(unmarked)
+        )
 
 
 @pytest.fixture

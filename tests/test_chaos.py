@@ -9,6 +9,8 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.experiments import exp_chaos
+
+pytestmark = pytest.mark.chaos
 from repro.experiments.sweep import SWEEPABLE
 from repro.netsim.chaos import (
     FAULT_MIXES,

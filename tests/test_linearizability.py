@@ -1,0 +1,190 @@
+"""Unit tests for the Wing-Gong linearizability checker and its models."""
+
+import pytest
+
+from repro.simtest.linearizability import (
+    CheckAborted,
+    LedgerModel,
+    Op,
+    RegisterModel,
+    TupleSpaceModel,
+    canonical,
+    check_linearizable,
+)
+
+
+def op(client, name, args=(), invoke=0.0, response=1.0, result=None):
+    return Op(client=client, op=name, args=tuple(args), invoke=invoke,
+              response=response, result=result)
+
+
+class TestCanonical:
+    def test_scalars_unchanged(self):
+        assert canonical(5) == 5
+        assert canonical("x") == "x"
+        assert canonical(None) is None
+
+    def test_lists_and_tuples_unify(self):
+        assert canonical([1, [2, 3]]) == canonical((1, (2, 3)))
+
+    def test_dicts_order_insensitive(self):
+        assert canonical({"a": 1, "b": 2}) == canonical({"b": 2, "a": 1})
+
+    def test_nested_containers_hashable(self):
+        hash(canonical({"a": [1, {"b": 2}]}))
+
+
+class TestRegisterModel:
+    def test_sequential_history_linearizable(self):
+        history = [
+            op("c0", "write", (1,), invoke=0.0, response=0.1, result=1),
+            op("c1", "read", (), invoke=0.2, response=0.3, result=1),
+        ]
+        assert check_linearizable(history, RegisterModel()) is None
+
+    def test_concurrent_reads_either_value(self):
+        # Read overlaps the write: both old and new values are legal.
+        write = op("c0", "write", (7,), invoke=0.0, response=1.0, result=1)
+        for seen in (None, 7):
+            history = [write,
+                       op("c1", "read", (), invoke=0.5, response=0.6,
+                          result=seen)]
+            assert check_linearizable(history, RegisterModel()) is None
+
+    def test_stale_read_after_fresh_read_rejected(self):
+        # c1 reads the new value and *completes*; c2 then reads the old
+        # value strictly afterwards — a real-time ordering cycle.
+        history = [
+            op("c0", "write", (7,), invoke=0.0, response=0.1, result=1),
+            op("c1", "read", (), invoke=0.2, response=0.3, result=7),
+            op("c2", "read", (), invoke=0.4, response=0.5, result=None),
+        ]
+        verdict = check_linearizable(history, RegisterModel())
+        assert verdict is not None
+
+    def test_pending_write_may_take_effect(self):
+        # The write never acked, but a completed read saw its value: legal.
+        history = [
+            Op(client="c0", op="write", args=(9,), invoke=0.0, response=None,
+               result=None),
+            op("c1", "read", (), invoke=1.0, response=1.1, result=9),
+        ]
+        assert check_linearizable(history, RegisterModel()) is None
+
+    def test_pending_write_may_be_omitted(self):
+        history = [
+            Op(client="c0", op="write", args=(9,), invoke=0.0, response=None,
+               result=None),
+            op("c1", "read", (), invoke=1.0, response=1.1, result=None),
+        ]
+        assert check_linearizable(history, RegisterModel()) is None
+
+    def test_read_from_nowhere_rejected(self):
+        history = [op("c0", "read", (), result=42)]
+        assert check_linearizable(history, RegisterModel()) is not None
+
+
+class TestTupleSpaceModel:
+    def test_out_then_inp_removes(self):
+        history = [
+            op("c0", "out", ("job", 1), invoke=0.0, response=0.1,
+               result=("job", 1)),
+            op("c1", "inp", (), invoke=0.2, response=0.3,
+               result=("job", 1)),
+            op("c1", "inp", (), invoke=0.4, response=0.5, result=None),
+        ]
+        assert check_linearizable(history, TupleSpaceModel()) is None
+
+    def test_rd_does_not_remove(self):
+        history = [
+            op("c0", "out", ("job", 1), invoke=0.0, response=0.1,
+               result=("job", 1)),
+            op("c1", "rdp", (), invoke=0.2, response=0.3,
+               result=("job", 1)),
+            op("c1", "rdp", (), invoke=0.4, response=0.5,
+               result=("job", 1)),
+        ]
+        assert check_linearizable(history, TupleSpaceModel()) is None
+
+    def test_double_take_of_one_tuple_rejected(self):
+        history = [
+            op("c0", "out", ("job", 1), invoke=0.0, response=0.1,
+               result=("job", 1)),
+            op("c1", "inp", (), invoke=0.2, response=0.3,
+               result=("job", 1)),
+            op("c2", "inp", (), invoke=0.4, response=0.5,
+               result=("job", 1)),
+        ]
+        assert check_linearizable(history, TupleSpaceModel()) is not None
+
+    def test_inp_nondeterminism_either_tuple(self):
+        # Two matching tuples: inp may legally return either one.
+        for taken in (("job", 1), ("job", 2)):
+            history = [
+                op("c0", "out", ("job", 1), invoke=0.0, response=0.1,
+                   result=("job", 1)),
+                op("c0", "out", ("job", 2), invoke=0.2, response=0.3,
+                   result=("job", 2)),
+                op("c1", "inp", (), invoke=0.4, response=0.5, result=taken),
+            ]
+            assert check_linearizable(history, TupleSpaceModel()) is None
+
+    def test_phantom_tuple_rejected(self):
+        history = [op("c1", "inp", (), result=("job", 99))]
+        assert check_linearizable(history, TupleSpaceModel()) is not None
+
+
+class TestLedgerModel:
+    def model(self):
+        return LedgerModel({"a": 100, "b": 100})
+
+    def test_transfer_and_balance(self):
+        history = [
+            op("c0", "transfer", ("t1", "a", "b", 30), invoke=0.0,
+               response=0.1, result=True),
+            op("c1", "balance", ("b",), invoke=0.2, response=0.3, result=130),
+        ]
+        assert check_linearizable(history, self.model()) is None
+
+    def test_retried_transfer_applies_once(self):
+        # Same txid twice (an RPC retry): the second is a dedup no-op.
+        history = [
+            op("c0", "transfer", ("t1", "a", "b", 30), invoke=0.0,
+               response=0.1, result=True),
+            op("c0", "transfer", ("t1", "a", "b", 30), invoke=0.2,
+               response=0.3, result=True),
+            op("c1", "balance", ("a",), invoke=0.4, response=0.5, result=70),
+        ]
+        assert check_linearizable(history, self.model()) is None
+
+    def test_double_applied_balance_rejected(self):
+        history = [
+            op("c0", "transfer", ("t1", "a", "b", 30), invoke=0.0,
+               response=0.1, result=True),
+            op("c0", "transfer", ("t1", "a", "b", 30), invoke=0.2,
+               response=0.3, result=True),
+            op("c1", "balance", ("a",), invoke=0.4, response=0.5, result=40),
+        ]
+        assert check_linearizable(history, self.model()) is not None
+
+
+class TestCheckerMechanics:
+    def test_empty_history(self):
+        assert check_linearizable([], RegisterModel()) is None
+
+    def test_all_pending_history(self):
+        history = [Op(client="c0", op="write", args=(1,), invoke=0.0,
+                      response=None, result=None)]
+        assert check_linearizable(history, RegisterModel()) is None
+
+    def test_state_budget_aborts(self):
+        # Pending outs force the search through every subset while it hunts
+        # for a linearization of the impossible inp — the budget trips.
+        history = [
+            Op(client=f"c{i}", op="out", args=("job", i), invoke=0.0,
+               response=None, result=None)
+            for i in range(14)
+        ] + [op("c99", "inp", (), invoke=1.0, response=1.1,
+               result=("job", 99))]
+        with pytest.raises(CheckAborted):
+            check_linearizable(history, TupleSpaceModel(), max_states=50)

@@ -17,6 +17,7 @@ from repro.qos.spec import SupplierQoS
 from repro.transport.base import Address
 from repro.transport.inmemory import InMemoryFabric
 from repro.transport.secure import (
+    NONCE_BYTES,
     SECURE_OVERHEAD_BYTES,
     SecureChannel,
     SecureTransport,
@@ -226,3 +227,86 @@ class TestMetricsRecorder:
     def test_summary_of_static(self):
         summary = Summary.of([3.0, 1.0, 2.0])
         assert (summary.minimum, summary.p50, summary.maximum) == (1.0, 2.0, 3.0)
+
+
+class TestTamperedFrameRejection:
+    """In-flight tampering: every mangled region must be rejected, counted,
+    and must never reach the application receiver."""
+
+    def pair(self):
+        fabric = InMemoryFabric(latency_s=0.01)
+        sender = SecureTransport(fabric.endpoint("a"), KEY)
+        receiver = SecureTransport(fabric.endpoint("b"), KEY)
+        received = []
+        receiver.set_receiver(lambda src, data: received.append(data))
+        return fabric, sender, receiver, received
+
+    def deliver_tampered(self, mangle):
+        """Send one sealed frame through ``mangle`` into the receiver."""
+        fabric, sender, receiver, received = self.pair()
+        captured = []
+        fabric.endpoint("tap")  # keep fabric construction uniform
+        sender.inner.set_receiver(lambda src, frame: None)  # quiet the echo
+        frame = SecureChannel(KEY).seal("a", b"payload")
+        receiver._on_frame(Address("a"), mangle(bytearray(frame)))
+        return receiver, received, captured
+
+    @pytest.mark.parametrize("region,offset", [
+        ("nonce", 3),           # within the 12-byte nonce
+        ("ciphertext", 14),     # first ciphertext byte
+        ("tag", -4),            # within the trailing 16-byte tag
+    ])
+    def test_single_bit_flip_rejected_everywhere(self, region, offset):
+        def flip(frame):
+            frame[offset] ^= 0x01
+            return bytes(frame)
+
+        receiver, received, _ = self.deliver_tampered(flip)
+        assert received == []
+        assert receiver.auth_failures == 1
+
+    def test_truncated_frame_rejected(self):
+        receiver, received, _ = self.deliver_tampered(
+            lambda frame: bytes(frame[: NONCE_BYTES + 3])
+        )
+        assert received == []
+        assert receiver.auth_failures == 1
+
+    def test_replayed_frame_still_authenticates(self):
+        # This layer provides integrity, not replay protection (that is the
+        # reliable layer's sequence numbering): a verbatim copy verifies.
+        fabric, sender, receiver, received = self.pair()
+        frame = SecureChannel(KEY).seal("a", b"payload")
+        receiver._on_frame(Address("a"), frame)
+        receiver._on_frame(Address("a"), frame)
+        assert received == [b"payload", b"payload"]
+        assert receiver.auth_failures == 0
+
+    def test_in_flight_corruption_burst_never_leaks(self):
+        """End to end over the simulated medium with the fault injector."""
+        from repro.netsim import topology as topo
+        from repro.netsim.failures import FailureInjector
+        from repro.transport.simnet import SimFabric as Fabric
+
+        network = topo.star(2, radius=40, radio_profile=IDEAL_RADIO)
+        fabric = Fabric(network)
+        sender = SecureTransport(fabric.endpoint("leaf0", "app"), KEY)
+        receiver = SecureTransport(fabric.endpoint("leaf1", "app"), KEY)
+        received = []
+        receiver.set_receiver(lambda src, data: received.append(data))
+        injector = FailureInjector(network, seed=7)
+        corruptor = injector.corrupt_frames_at(0.0, duration=10.0,
+                                               probability=1.0,
+                                               only_ports=("app",))
+        destination = receiver.local_address
+        for i in range(20):
+            network.sim.schedule_at(
+                0.1 + i * 0.1, sender.send, destination, b"m%d" % i
+            )
+        network.sim.run_until(12.0)
+        # Every frame was mangled in flight: nothing may be delivered, and
+        # every arrival must be counted as an authentication failure.
+        assert received == []
+        assert receiver.auth_failures > 0
+        assert corruptor.corrupted + corruptor.truncated == 20
+        assert receiver.auth_failures + corruptor.truncated >= 20

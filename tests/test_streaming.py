@@ -103,3 +103,91 @@ class TestStreamingJitter:
         assert tight.late_drops + tight.underruns > 0
         # And the price is buffer latency.
         assert roomy.mean_buffer_wait_s() > tight.mean_buffer_wait_s()
+
+
+class TestStreamingLifecycle:
+    """Backpressure, cancellation, and mid-stream crashes."""
+
+    def test_backpressure_buffer_absorbs_burst_then_drains(self):
+        # A playout delay much longer than the stream: every frame arrives
+        # before the first one plays, so the jitter buffer must absorb the
+        # whole stream, then drain it on schedule without dropping any.
+        fabric = InMemoryFabric(latency_s=0.001)
+        sink_transport = fabric.endpoint("sink", "media")
+        sink = StreamingSink(sink_transport, frame_interval_s=0.04,
+                             playout_delay_s=2.0)
+        source = StreamingSource(fabric.endpoint("src", "media"),
+                                 sink_transport.local_address,
+                                 frame_interval_s=0.04, total_frames=30)
+        source.start()
+        fabric.sim.run_until(30 * 0.04 + 0.1)
+        # All frames sent and received; almost nothing played yet.
+        assert sink.frames_received == 30
+        backlog = len(sink._buffer)
+        assert backlog >= 25
+        fabric.sim.run_until(10.0)
+        assert sink.frames_played == 30
+        assert sink.late_drops == 0 and sink.underruns == 0
+        assert len(sink._buffer) == 0
+        # Every frame waited roughly the playout delay under backpressure.
+        assert sink.mean_buffer_wait_s() > 1.0
+
+    def test_cancel_sink_mid_stream(self):
+        fabric = InMemoryFabric(latency_s=0.005)
+        sink_transport = fabric.endpoint("sink", "media")
+        sink = StreamingSink(sink_transport, frame_interval_s=0.04,
+                             playout_delay_s=0.1)
+        source = StreamingSource(fabric.endpoint("src", "media"),
+                                 sink_transport.local_address,
+                                 frame_interval_s=0.04, total_frames=100)
+        source.start()
+        fabric.sim.run_until(1.0)
+        played_at_close = sink.frames_played
+        assert played_at_close > 0
+        sink_transport.close()
+        fabric.sim.run_until(10.0)
+        # Playout halted at close; no further frames played, no errors.
+        assert sink.frames_played == played_at_close
+        # The source kept emitting into the void without blowing up.
+        assert source.frames_sent == 100
+
+    def test_cancel_source_mid_stream(self):
+        fabric = InMemoryFabric(latency_s=0.005)
+        sink_transport = fabric.endpoint("sink", "media")
+        sink = StreamingSink(sink_transport, frame_interval_s=0.04,
+                             playout_delay_s=0.1, stall_limit=5)
+        source = StreamingSource(fabric.endpoint("src", "media"),
+                                 sink_transport.local_address,
+                                 frame_interval_s=0.04, total_frames=None)
+        source.start()
+        fabric.sim.run_until(1.0)
+        source.stop()
+        sent = source.frames_sent
+        fabric.sim.run_until(10.0)
+        # The stall detector rolls back trailing empty slots: the cut-off
+        # stream scores clean, not as a burst of underruns.
+        assert sink.frames_played == sent
+        assert sink.continuity() == pytest.approx(1.0)
+
+    def test_mid_stream_sink_crash_and_recovery(self):
+        from repro.netsim.failures import FailureInjector
+
+        network = topology.star(2, radius=40, radio_profile=IDEAL_RADIO)
+        fabric = SimFabric(network)
+        sink_transport = fabric.endpoint("leaf0", "media")
+        sink = StreamingSink(sink_transport, frame_interval_s=0.04,
+                             playout_delay_s=0.2)
+        source = StreamingSource(fabric.endpoint("leaf1", "media"),
+                                 sink_transport.local_address,
+                                 frame_interval_s=0.04, total_frames=200)
+        injector = FailureInjector(network, seed=1)
+        injector.crash_and_recover("leaf0", crash_at=2.0, downtime=1.0)
+        source.start()
+        network.sim.run_until(200 * 0.04 + 2.0)
+        # Frames sent during the outage are gone: underruns, not a wedge.
+        assert source.frames_sent == 200
+        assert sink.frames_received < 200
+        assert sink.underruns >= 20
+        # The stream resumed after recovery: later frames played fine.
+        assert sink.frames_played >= 150
+        assert 0.5 < sink.continuity() < 1.0

@@ -206,3 +206,74 @@ class TestRng:
 
     def test_split_labels_are_independent(self):
         assert split_rng(1, "a").random() != split_rng(1, "b").random()
+
+
+class TestTieBreaker:
+    def test_default_is_fifo_for_equal_priorities(self):
+        queue = StablePriorityQueue()
+        for name in "abc":
+            queue.push(1, name)
+        assert [queue.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_tie_breaker_reorders_equal_priorities(self):
+        queue = StablePriorityQueue()
+        draws = iter([0.9, 0.1, 0.5])
+        queue.set_tie_breaker(lambda: next(draws))
+        for name in "abc":
+            queue.push(1, name)
+        assert [queue.pop()[1] for _ in range(3)] == ["b", "c", "a"]
+
+    def test_tie_breaker_never_overrides_priority(self):
+        queue = StablePriorityQueue()
+        draws = iter([0.9, 0.0])
+        queue.set_tie_breaker(lambda: next(draws))
+        queue.push(1, "urgent")
+        queue.push(2, "later")
+        assert queue.pop() == (1, "urgent")
+        assert queue.pop() == (2, "later")
+
+    def test_equal_draws_fall_back_to_fifo(self):
+        queue = StablePriorityQueue()
+        queue.set_tie_breaker(lambda: 0.5)
+        for name in "abc":
+            queue.push(1, name)
+        assert [queue.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_clearing_restores_fifo(self):
+        queue = StablePriorityQueue()
+        queue.set_tie_breaker(lambda: 0.0)
+        queue.set_tie_breaker(None)
+        for name in "ab":
+            queue.push(1, name)
+        assert [queue.pop()[1] for _ in range(2)] == ["a", "b"]
+
+    def test_seeded_reorder_is_replayable(self):
+        import random
+
+        def run(seed):
+            queue = StablePriorityQueue()
+            queue.set_tie_breaker(random.Random(seed).random)
+            for index in range(20):
+                queue.push(index % 3, index)
+            return [queue.pop() for _ in range(20)]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_simulator_tie_breaker_perturbs_same_time_events(self):
+        import random
+
+        from repro.netsim.simulator import Simulator
+
+        def run(seed):
+            sim = Simulator()
+            if seed is not None:
+                sim.set_tie_breaker(random.Random(seed).random)
+            fired = []
+            for name in "abcde":
+                sim.schedule_at(1.0, fired.append, name)
+            sim.run_until(2.0)
+            return fired
+
+        assert run(None) == list("abcde")      # default: scheduling order
+        assert run(3) == run(3)                # perturbed but replayable
