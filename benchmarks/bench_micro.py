@@ -7,6 +7,8 @@ the codecs, the markup parser, feasible-set enumeration, the scheduler, and
 the simulator core.
 """
 
+import pytest
+
 from repro.core.feasibility import minimal_feasible_sets
 from repro.core.sensors import SensorInfo
 from repro.interop.codec import BinaryCodec, SmlCodec
@@ -73,6 +75,28 @@ def test_feasible_set_enumeration(benchmark):
 
 
 def test_simulator_event_throughput(benchmark):
+    # The swarm hot path: 1000 events landing on one timestamp, folded into
+    # a single batched queue entry (Simulator.schedule_batch) — how the
+    # medium schedules same-tick broadcast deliveries. One heap push/pop
+    # total instead of 1000, so the per-event cost is the bare callback.
+    def run_events():
+        sim = Simulator()
+        count = [0]
+
+        def bump():
+            count[0] += 1
+
+        sim.schedule_batch(0.001, [bump] * 1000)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run_events) == 1000
+
+
+def test_simulator_chained_events(benchmark):
+    # The adversarial counterpart: 1000 strictly sequential events, each
+    # scheduled by its predecessor — no batching possible, every event pays
+    # a full heap push + pop. This bounds the un-batchable worst case.
     def run_events():
         sim = Simulator()
         count = [0]
@@ -89,28 +113,35 @@ def test_simulator_event_throughput(benchmark):
     assert benchmark(run_events) == 1000
 
 
-def test_medium_neighbor_scan(benchmark):
-    # 144 nodes, 30 m spacing, 100 m radio range: every broadcast used to
-    # pay a distance check against all 143 other nodes; the spatial grid
-    # confines the scan to the 3x3 cell block around the sender.
-    network = topology_grid(12, 12, spacing=30.0)
+@pytest.mark.parametrize("side,center", [(12, "n5_5"), (32, "n16_16")],
+                         ids=["144n", "1024n"])
+def test_medium_neighbor_scan(benchmark, side, center):
+    # 30 m spacing, 100 m radio range: every broadcast used to pay a
+    # distance check against all n-1 other nodes; the spatial index
+    # confines the scan to the 3x3 cell block around the sender, so the
+    # answer (36 in-range neighbors of an interior node) should cost the
+    # same at 144 nodes as at 1024 — that flatness is what this pair of
+    # points gates.
+    network = topology_grid(side, side, spacing=30.0)
     medium = network.medium
 
     def broadcast_scan():
-        return len(medium.neighbors_of("n5_5"))
+        return len(medium.neighbors_of(center))
 
     assert benchmark(broadcast_scan) == 36
 
 
-def test_medium_broadcast_delivery(benchmark):
-    network = topology_grid(8, 8, spacing=30.0)
+@pytest.mark.parametrize("side,center", [(8, "n4_4"), (32, "n16_16")],
+                         ids=["64n", "1024n"])
+def test_medium_broadcast_delivery(benchmark, side, center):
+    network = topology_grid(side, side, spacing=30.0)
     medium = network.medium
     packet = Packet(
-        source="n4_4", destination=BROADCAST, payload=b"x", payload_bytes=32
+        source=center, destination=BROADCAST, payload=b"x", payload_bytes=32
     )
 
     def transmit_and_drain():
-        medium.transmit("n4_4", packet)
+        medium.transmit(center, packet)
         network.sim.run()
         return medium.deliveries
 

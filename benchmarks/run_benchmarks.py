@@ -21,6 +21,17 @@ smoke/gate runs, but leave it off when refreshing the committed baseline
     PYTHONPATH=src python benchmarks/run_benchmarks.py            # full run
     PYTHONPATH=src python benchmarks/run_benchmarks.py --quick    # fast, noisier
     PYTHONPATH=src python benchmarks/run_benchmarks.py --quick --jobs 3
+
+``--scale`` swaps the pytest micro benches for the swarm-scale curve
+(``benchmarks/scale.py``): events/sec at 100/1k/10k nodes on the
+vectorized medium backend, with a scalar reference run per point whose
+delivery trace must be byte-identical (exit 3 on divergence). The same
+record/compare/threshold machinery applies, against ``BENCH_scale.json``::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --scale            # baseline
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --scale --quick \
+        --threshold 2.0 --normalize-skew --baseline BENCH_scale.json \
+        --output /tmp/scale.json                                          # CI gate
 """
 
 from __future__ import annotations
@@ -40,6 +51,7 @@ BENCH_FILES = [
     Path(__file__).resolve().parent / "bench_reconfigure_loop.py",
 ]
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_micro.json"
+SCALE_OUTPUT = REPO_ROOT / "BENCH_scale.json"
 SCHEMA_VERSION = 1
 
 
@@ -148,8 +160,15 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="fast smoke run (fewer rounds, noisier medians)")
-    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
-                        help=f"JSON to write/compare (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--scale", action="store_true",
+                        help="run the swarm-scale curve (events/sec at "
+                             "100/1k/10k nodes, scalar-vs-vector trace "
+                             "equality) instead of the micro benches; "
+                             f"default output becomes {SCALE_OUTPUT.name}")
+    parser.add_argument("--output", type=Path, default=None,
+                        help=f"JSON to write/compare (default "
+                             f"{DEFAULT_OUTPUT.name}, or "
+                             f"{SCALE_OUTPUT.name} with --scale)")
     parser.add_argument("--threshold", type=float, default=1.5,
                         help="regression ratio: fail when new/old exceeds this "
                              "(default 1.5)")
@@ -168,6 +187,8 @@ def main(argv=None) -> int:
                              "before judging, so a uniformly slower machine "
                              "does not trip the threshold (CI gates)")
     args = parser.parse_args(argv)
+    if args.output is None:
+        args.output = SCALE_OUTPUT if args.scale else DEFAULT_OUTPUT
 
     previous = None
     baseline_path = args.baseline if args.baseline is not None else args.output
@@ -181,7 +202,14 @@ def main(argv=None) -> int:
         print(f"warning: baseline {baseline_path} not found; skipping "
               "comparison", file=sys.stderr)
 
-    ops = run_benches(args.quick, jobs=args.jobs)
+    traces_ok = True
+    if args.scale:
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        from scale import run_curve
+
+        ops, traces_ok = run_curve(args.quick)
+    else:
+        ops = run_benches(args.quick, jobs=args.jobs)
     record = {
         "schema": SCHEMA_VERSION,
         "git_sha": git_sha(),
@@ -206,6 +234,10 @@ def main(argv=None) -> int:
     args.output.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.output}")
 
+    if not traces_ok:
+        print("SCALAR/VECTOR TRACE MISMATCH: the vectorized medium backend "
+              "diverged from the scalar reference", file=sys.stderr)
+        return 3
     if regressed:
         names = ", ".join(row[0] for row in regressed)
         print(f"PERF REGRESSION in: {names}", file=sys.stderr)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import struct
+from sys import intern
 from typing import Any, Dict, Protocol, runtime_checkable
 
 from repro.errors import CodecError, InteropError
@@ -191,7 +192,11 @@ class BinaryCodec:
             for _ in range(count):
                 key_length, offset = _decode_varint(payload, offset)
                 self._need(payload, offset, key_length)
-                key = payload[offset:offset + key_length].decode("utf-8")
+                # Frame field names ("op", "seq", "src", ...) recur on every
+                # decoded frame; interning collapses the per-frame key
+                # copies to shared singletons and makes downstream dict
+                # lookups pointer-compares — measurable at swarm scale.
+                key = intern(payload[offset:offset + key_length].decode("utf-8"))
                 offset += key_length
                 result[key], offset = self._decode_from(payload, offset)
             return result, offset

@@ -11,10 +11,12 @@ components off).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Set
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.errors import ConfigurationError
+from repro.netsim import vecindex
 from repro.netsim.mobility import is_time_varying
 from repro.netsim.node import Node
 from repro.netsim.packet import Packet
@@ -22,6 +24,12 @@ from repro.netsim.simulator import Simulator
 from repro.netsim.spatialindex import SpatialHashGrid
 from repro.util.events import Subscription
 from repro.util.rng import split_rng
+
+#: Environment switch for the position-index backend: ``auto`` (numpy when
+#: importable — the default), ``scalar`` (force the pure-Python grid), or
+#: ``vector`` (require numpy; raises if missing). Read at medium
+#: construction, so tests can monkeypatch it per-world.
+BACKEND_ENV = "REPRO_SCALE_BACKEND"
 
 
 @dataclass(frozen=True)
@@ -76,6 +84,93 @@ IDEAL_RADIO = RadioProfile(
 #: packet delivers it. Installed by the chaos layer to model corruption.
 DeliveryFault = Callable[[str, Packet], Optional[Packet]]
 
+#: A cross-shard egress hook: ``(sender_id, packet, air_delay_s)``. Installed
+#: by the sharded-simulation coordinator (:mod:`repro.netsim.shard`); called
+#: for unicast packets whose destination is not attached to this medium, in
+#: place of counting a ``drops_dead``.
+EgressHook = Callable[[str, Packet, float], None]
+
+
+class _ScalarBackend:
+    """The retained pure-Python position index (grid + attach order).
+
+    This is the reference path the vectorized backend is held equivalent
+    to: a :class:`SpatialHashGrid` snapshot store plus attach-sequence
+    bookkeeping for the documented neighbor ordering. Mobile nodes are
+    re-bucketed **incrementally** — one batched
+    :meth:`SpatialHashGrid.update_positions` sweep per distinct virtual
+    timestamp that only touches buckets of nodes whose cell actually
+    changed — instead of the historical per-node ``move`` call storm.
+    """
+
+    __slots__ = ("_grid", "_seq", "_next_seq", "_mobile", "_time")
+
+    def __init__(self, cell_size: float):
+        self._grid = SpatialHashGrid(cell_size)
+        self._seq: Dict[str, int] = {}
+        self._next_seq = 0
+        self._mobile: Dict[str, Node] = {}
+        self._time: Optional[float] = None
+
+    def insert(self, node: Node) -> None:
+        position = node.position
+        self._grid.insert(node.node_id, position.x, position.y)
+        self._seq[node.node_id] = self._next_seq
+        self._next_seq += 1
+        if is_time_varying(node.mobility):
+            self._mobile[node.node_id] = node
+
+    def remove(self, node_id: str) -> None:
+        self._grid.remove(node_id)
+        self._seq.pop(node_id, None)
+        self._mobile.pop(node_id, None)
+
+    def note_moved(self, node: Node) -> None:
+        position = node.position
+        self._grid.move(node.node_id, position.x, position.y)
+        if is_time_varying(node.mobility):
+            self._mobile[node.node_id] = node
+        else:
+            self._mobile.pop(node.node_id, None)
+
+    def refresh(self, now: float) -> None:
+        if now == self._time:
+            return
+        if self._mobile:
+            def positions():
+                for node_id, node in self._mobile.items():
+                    position = node.position
+                    yield node_id, position.x, position.y
+            self._grid.update_positions(positions())
+        self._time = now
+
+    def query_circle_ordered(self, x: float, y: float, radius: float) -> List[str]:
+        ids = self._grid.query_circle(x, y, radius)
+        ids.sort(key=self._seq.__getitem__)
+        return ids
+
+
+def _select_backend(cell_size: float, vectorized: Optional[bool]):
+    """Resolve the backend choice (explicit arg beats :data:`BACKEND_ENV`)."""
+    if vectorized is None:
+        choice = os.environ.get(BACKEND_ENV, "auto")
+        if choice == "scalar":
+            vectorized = False
+        elif choice == "vector":
+            vectorized = True
+        elif choice == "auto":
+            vectorized = vecindex.available()
+        else:
+            raise ConfigurationError(
+                f"bad {BACKEND_ENV}={choice!r}; want scalar|vector|auto"
+            )
+    if vectorized:
+        # Raises ConfigurationError when numpy is missing — forcing the
+        # vector backend without it is a configuration mistake, not a
+        # silent fallback.
+        return vecindex.VectorPositionIndex(cell_size), True
+    return _ScalarBackend(cell_size), False
+
 
 class WirelessMedium:
     """A broadcast domain shared by attached nodes.
@@ -84,12 +179,20 @@ class WirelessMedium:
     from ``(seed, "medium:<profile name>")``, independent of any other
     randomness in the run.
 
-    In-range queries go through a :class:`SpatialHashGrid` with cell size
+    In-range queries go through a position-index backend with cell size
     equal to the radio range, so a broadcast inspects only the 3x3 cell
-    block around the sender instead of scanning every attached node. Nodes
-    with time-varying mobility are re-bucketed lazily, at most once per
-    distinct virtual timestamp; static nodes re-bucket only when their
-    ``"moved"`` event fires.
+    block around the sender instead of scanning every attached node. Two
+    interchangeable backends exist (selected by the ``vectorized``
+    argument, or :data:`BACKEND_ENV` when it is ``None``): the scalar
+    :class:`SpatialHashGrid` reference path, and the numpy-vectorized
+    :class:`~repro.netsim.vecindex.VectorPositionIndex` for swarm-scale
+    worlds — held bit-for-bit equivalent by the suite in
+    ``tests/test_vector_medium.py``, so which one is active never changes
+    results, only speed. Nodes with time-varying mobility are refreshed
+    lazily, at most once per distinct virtual timestamp; static nodes
+    re-bucket only when their ``"moved"`` event fires. Contention-free
+    broadcasts batch all surviving same-tick receptions into a single
+    scheduler entry (see :meth:`Simulator.schedule_batch` notes).
 
     Failure modeling hooks (all no-cost when unused):
 
@@ -104,16 +207,18 @@ class WirelessMedium:
       hook that can corrupt, truncate, or swallow packets.
     """
 
-    def __init__(self, sim: Simulator, profile: RadioProfile = WIFI_80211, seed: int = 0):
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: RadioProfile = WIFI_80211,
+        seed: int = 0,
+        vectorized: Optional[bool] = None,
+    ):
         self.sim = sim
         self.profile = profile
         self._nodes: Dict[str, Node] = {}
         self._rng = split_rng(seed, f"medium:{profile.name}")
-        self._grid = SpatialHashGrid(profile.range_m)
-        self._mobile: Set[str] = set()
-        self._grid_time: Optional[float] = None
-        self._attach_seq: Dict[str, int] = {}
-        self._next_seq = 0
+        self._index, self.vectorized = _select_backend(profile.range_m, vectorized)
         self._moved_subs: Dict[str, Subscription] = {}
         # Failure-modeling state (chaos layer; inert by default).
         self._isolations: Dict[int, frozenset] = {}
@@ -121,6 +226,7 @@ class WirelessMedium:
         self.extra_loss_probability = 0.0
         self.extra_latency_s = 0.0
         self._delivery_fault: Optional[DeliveryFault] = None
+        self._egress: Optional[EgressHook] = None
         # Counters for the overhead experiments.
         self.transmissions = 0
         self.deliveries = 0
@@ -129,6 +235,7 @@ class WirelessMedium:
         self.drops_dead = 0
         self.drops_partitioned = 0
         self.drops_faulted = 0
+        self.egress_relayed = 0
         self.bytes_transmitted = 0
 
     # ----------------------------------------------------------- membership
@@ -137,47 +244,22 @@ class WirelessMedium:
         if node.node_id in self._nodes:
             raise ConfigurationError(f"node {node.node_id!r} already attached")
         self._nodes[node.node_id] = node
-        self._attach_seq[node.node_id] = self._next_seq
-        self._next_seq += 1
-        position = node.position
-        self._grid.insert(node.node_id, position.x, position.y)
-        if is_time_varying(node.mobility):
-            self._mobile.add(node.node_id)
+        self._index.insert(node)
         self._moved_subs[node.node_id] = node.events.on("moved", self._on_node_moved)
 
     def detach(self, node_id: str) -> None:
         if self._nodes.pop(node_id, None) is None:
             return
-        self._grid.remove(node_id)
-        self._mobile.discard(node_id)
-        self._attach_seq.pop(node_id, None)
+        self._index.remove(node_id)
         subscription = self._moved_subs.pop(node_id, None)
         if subscription is not None:
             subscription.cancel()
 
     def _on_node_moved(self, node: Node) -> None:
         """Invalidation hook: a node was pinned or given a new mobility model."""
-        node_id = node.node_id
-        if node_id not in self._nodes:
+        if node.node_id not in self._nodes:
             return
-        position = node.position
-        self._grid.move(node_id, position.x, position.y)
-        if is_time_varying(node.mobility):
-            self._mobile.add(node_id)
-        else:
-            self._mobile.discard(node_id)
-
-    def _refresh_grid(self) -> None:
-        """Re-bucket time-varying nodes once per distinct virtual timestamp."""
-        now = self.sim.now()
-        if now == self._grid_time:
-            return
-        grid = self._grid
-        nodes = self._nodes
-        for node_id in self._mobile:
-            position = nodes[node_id].position
-            grid.move(node_id, position.x, position.y)
-        self._grid_time = now
+        self._index.note_moved(node)
 
     # ------------------------------------------------------ failure modeling
 
@@ -210,6 +292,31 @@ class WirelessMedium:
         """Install (or clear, with ``None``) the per-reception fault hook."""
         self._delivery_fault = fault
 
+    def set_egress(self, egress: Optional[EgressHook]) -> None:
+        """Install (or clear) the cross-shard egress hook.
+
+        While installed, a unicast to a destination **not attached** to
+        this medium is handed to the hook (with the air delay the frame
+        would have taken) instead of being counted as ``drops_dead`` —
+        the sharded-simulation coordinator relays it into the owning
+        shard. The sender is charged transmit energy at full radio range,
+        since the true distance is only known shard-side.
+        """
+        self._egress = egress
+
+    def inject(self, node_id: str, packet: Packet, at_time: float) -> None:
+        """Deliver ``packet`` to an attached node at absolute virtual time.
+
+        The ingress half of sharding: a relayed frame re-enters through
+        the normal delivery path (energy accounting, delivery faults,
+        liveness checks, counters), it just skips this medium's loss and
+        contention processes — those were the sending shard's business.
+        """
+        node = self._nodes.get(node_id)
+        if node is None:
+            raise ConfigurationError(f"cannot inject to unknown node {node_id!r}")
+        self.sim.schedule_at(at_time, self._deliver, node, packet)
+
     def nodes(self) -> List[Node]:
         return list(self._nodes.values())
 
@@ -228,23 +335,27 @@ class WirelessMedium:
         return out
 
     def _audible_nodes(self, node_id: str) -> List[Node]:
-        """Alive in-range nodes, ignoring partitions (physical audibility)."""
+        """Alive in-range nodes, ignoring partitions (physical audibility).
+
+        Both backends return candidate ids already in attachment order
+        (the scalar grid sorts by attach sequence, the vector index by
+        slot number — which *is* the attach sequence), so the historical
+        post-hoc keyed sort is gone from the hot path.
+        """
         origin = self._nodes.get(node_id)
         if origin is None:
             return []
-        self._refresh_grid()
+        index = self._index
+        index.refresh(self.sim.now())
         position = origin.position
         nodes = self._nodes
-        out = [
+        return [
             nodes[candidate_id]
-            for candidate_id in self._grid.query_circle(
+            for candidate_id in index.query_circle_ordered(
                 position.x, position.y, self.profile.range_m
             )
             if candidate_id != node_id and nodes[candidate_id].alive
         ]
-        sequence = self._attach_seq
-        out.sort(key=lambda node: sequence[node.node_id])
-        return out
 
     # ----------------------------------------------------------- transmission
 
@@ -279,7 +390,20 @@ class WirelessMedium:
         else:
             target = self._nodes.get(packet.destination)
             if target is None:
-                self.drops_dead += 1
+                if self._egress is not None:
+                    # Sharded mode: the destination lives on another
+                    # shard's medium; hand the frame (and the air delay it
+                    # would incur here) to the coordinator's relay.
+                    self.egress_relayed += 1
+                    self._egress(
+                        sender_id,
+                        packet,
+                        self.profile.base_latency_s
+                        + self.profile.serialization_delay(packet.size_bits)
+                        + self.extra_latency_s,
+                    )
+                else:
+                    self.drops_dead += 1
                 receivers = []
                 tx_distance = self.profile.range_m
             else:
@@ -312,15 +436,49 @@ class WirelessMedium:
         loss_probability = min(
             0.999999, self.profile.loss_probability + self.extra_loss_probability
         )
+        rng = self._rng
+        sim = self.sim
+        contention = self.profile.contention_window_s
+        if contention > 0:
+            # Per-receiver MAC backoff: every reception gets its own delay,
+            # so each is necessarily its own queue event. Deliveries are
+            # fire-and-forget (never cancelled), so the no-handle path.
+            for receiver in receivers:
+                per_rx_delay = delay + rng.uniform(0, contention)
+                if rng.random() < loss_probability:
+                    self.drops_loss += 1
+                    continue
+                sim.call_later(per_rx_delay, self._deliver, receiver, packet)
+            return True
+        # Contention-free profiles give every reception the identical delay:
+        # fold the survivors into ONE queue entry. The loss process still
+        # draws once per receiver in receiver order, so the RNG stream (and
+        # therefore every seeded run) is identical to the unbatched path;
+        # and batched receptions fire back-to-back in the same order the
+        # individually scheduled events would have. Schedule exploration
+        # (a same-time tie-breaker) needs to interleave individual
+        # deliveries, so batching stands down while one is installed.
+        survivors = []
         for receiver in receivers:
-            per_rx_delay = delay
-            if self.profile.contention_window_s > 0:
-                per_rx_delay += self._rng.uniform(0, self.profile.contention_window_s)
-            if self._rng.random() < loss_probability:
+            if rng.random() < loss_probability:
                 self.drops_loss += 1
-                continue
-            self.sim.schedule(per_rx_delay, self._deliver, receiver, packet)
+            else:
+                survivors.append(receiver)
+        if len(survivors) == 1:
+            sim.call_later(delay, self._deliver, survivors[0], packet)
+        elif survivors:
+            if sim.tie_breaker_installed():
+                for receiver in survivors:
+                    sim.call_later(delay, self._deliver, receiver, packet)
+            else:
+                sim.call_later(delay, self._deliver_batch, survivors, packet)
         return True
+
+    def _deliver_batch(self, receivers: List[Node], packet: Packet) -> None:
+        """One queue entry delivering a same-tick broadcast to N receivers."""
+        deliver = self._deliver
+        for receiver in receivers:
+            deliver(receiver, packet)
 
     def _deliver(self, receiver: Node, packet: Packet) -> None:
         if not receiver.alive:

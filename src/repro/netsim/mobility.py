@@ -8,7 +8,7 @@ they need no per-tick updates and remain exact under any event spacing.
 
 from __future__ import annotations
 
-from typing import List, Protocol, Tuple
+from typing import List, Optional, Protocol, Tuple
 
 from repro.errors import ConfigurationError
 from repro.util.geometry import Point
@@ -34,8 +34,31 @@ def is_time_varying(model: "MobilityModel | None") -> bool:
     return model is not None and not isinstance(model, StaticMobility)
 
 
+def linear_params(
+    model: "MobilityModel",
+) -> Optional[Tuple[float, float, float, float, float]]:
+    """Kinematic parameters ``(x0, y0, vx, vy, t0)`` for closed-form models.
+
+    The vectorized medium backend (:mod:`repro.netsim.vecindex`) evaluates
+    ``position = (x0, y0) + (vx, vy) * max(0, t - t0)`` for whole slot
+    ranges in one numpy expression — the arithmetic below matches
+    :meth:`LinearMobility.position_at` operation for operation, so the
+    vector path reproduces the scalar path bit for bit. Models without a
+    closed form (paths, random waypoint) return ``None`` and are refreshed
+    through their Python ``position_at``.
+    """
+    if type(model) is LinearMobility:
+        return (
+            model.start.x, model.start.y,
+            model.velocity[0], model.velocity[1], model.start_time,
+        )
+    return None
+
+
 class StaticMobility:
     """A fixed position (the default for infrastructure nodes)."""
+
+    __slots__ = ("_position",)
 
     def __init__(self, position: Point):
         self._position = position
@@ -49,6 +72,8 @@ class LinearMobility:
 
     Used for the "service moving out of range" scenario of Section 3.7.
     """
+
+    __slots__ = ("start", "velocity", "start_time")
 
     def __init__(self, start: Point, velocity: Tuple[float, float], start_time: float = 0.0):
         self.start = start
@@ -68,6 +93,8 @@ class PathMobility:
 
     The node stops at the final waypoint.
     """
+
+    __slots__ = ("waypoints", "speed", "start_time", "_arrivals")
 
     def __init__(self, waypoints: List[Point], speed: float, start_time: float = 0.0):
         if len(waypoints) < 1:
@@ -104,6 +131,11 @@ class RandomWaypointMobility:
     there, and pauses. Segments are generated lazily but deterministically
     from the seed, so ``position_at`` is a pure function of (seed, t).
     """
+
+    __slots__ = (
+        "area", "speed_range", "pause_s", "_rng",
+        "_segments", "_horizon", "_last_position",
+    )
 
     def __init__(
         self,

@@ -33,7 +33,18 @@ class Node:
     * ``"recovered"`` (node) — restarted after a crash.
     * ``"moved"`` (node) — position pinned or mobility model swapped;
       spatial caches (the medium's hash grid) invalidate on this.
+
+    ``__slots__`` keeps the per-node footprint flat — 10k–100k node worlds
+    hold every node alive for the whole run, so the dict-per-instance
+    overhead was pure waste. Upper layers attach state via their own
+    node-id-keyed maps, never via attributes on the node.
     """
+
+    __slots__ = (
+        "node_id", "sim", "battery", "radio", "events",
+        "_home_position", "_mobility", "_crashed", "_handler",
+        "packets_sent", "packets_received", "bytes_sent", "bytes_received",
+    )
 
     def __init__(
         self,

@@ -20,9 +20,14 @@ HEADER_BYTES = 16
 _packet_seq = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A simulated frame.
+
+    ``slots=True`` matters at swarm scale: a 10k-node broadcast world holds
+    hundreds of thousands of live frames, and the per-instance ``__dict__``
+    of a plain dataclass dominated their footprint. Per-hop metadata
+    belongs in :attr:`headers`, not in ad-hoc attributes.
 
     Attributes:
         source: node id of the original sender.

@@ -1,0 +1,378 @@
+"""Sharded simulation: spatially partitioned worlds with conservative sync.
+
+ROADMAP item 2 asks for 10k–100k node worlds; past ~10k nodes a single
+event loop saturates one core. This module partitions a world spatially
+into *shards* — each shard owns a contiguous stripe of the deployment and
+runs its own :class:`~repro.netsim.network.Network` (simulator, medium,
+stack) — and advances all shards in lockstep **windows** of conservative
+lookahead, the classic conservative-parallel-DES recipe:
+
+* Any frame crossing a shard boundary is a unicast whose destination is
+  not attached to the sender's medium; the medium's *egress hook*
+  (:meth:`WirelessMedium.set_egress`) hands it to the coordinator with the
+  air delay it would have incurred.
+* The minimum cross-shard delay — ``base_latency + serialization(header)``
+  — bounds how soon a frame sent in window ``[t, t+L)`` can arrive:
+  with window length ``L`` no larger than that bound, every boundary
+  frame arrives **at or after** the next window start, so shards can run a
+  whole window without hearing from each other and never receive an event
+  in their past. That bound *is* the lookahead.
+* Between windows the coordinator relays collected egress frames into the
+  owning shard (distance-checked against the global position table, so
+  out-of-range unicasts drop exactly as a single medium would drop them)
+  via :meth:`WirelessMedium.inject`, which re-enters the normal delivery
+  path on the receiving side.
+
+Determinism: shards are advanced and egress frames relayed in shard-index
+order, and each shard is a deterministic simulation of its seed — so a
+sharded run is a pure function of (builder, n_shards, seed), in both
+execution modes. The in-process mode (``processes=False``) is the
+reference; the multiprocess mode runs each shard in a persistent worker
+process (one :class:`multiprocessing.Pipe` apiece — the same
+process-fan-out idea as :func:`repro.experiments.sweep.fan_out`, but with
+*stateful* workers because a shard must persist across windows) and is
+held trace-equivalent to it by ``tests/test_shard.py``.
+
+Semantics and limits (documented, test-enforced):
+
+* Shard assignment is static — nodes must not migrate across stripe
+  boundaries (mobility *within* a stripe is fine).
+* Each stripe is its own broadcast domain; broadcasts do not cross shard
+  boundaries. Cross-shard traffic is unicast.
+* Cross-shard frames skip the sending medium's loss/contention processes;
+  with loss-free, contention-free profiles (e.g. ``IDEAL_RADIO``) a
+  sharded run's delivery trace is **identical** to the equivalent
+  single-simulator run, which is the correctness anchor.
+* Senders of cross-shard frames are charged transmit energy at full radio
+  range (the true distance is only known coordinator-side).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.netsim.network import Network
+from repro.netsim.packet import HEADER_BYTES, Packet
+
+#: A builder: ``(shard_index, n_shards) -> ShardWorld``. For
+#: ``processes=True`` it must be a module-level callable (pickled by
+#: reference, exactly like sweep workers).
+ShardBuilder = Callable[[int, int], "ShardWorld"]
+
+
+@dataclass
+class ShardWorld:
+    """What a builder returns: the shard's network plus an optional report.
+
+    ``report()`` (if given) is called after the run and must return
+    something picklable — it is how multiprocess shards ship their
+    observations (delivery logs, per-node state) back to the coordinator.
+    """
+
+    network: Network
+    report: Optional[Callable[[], Any]] = None
+
+
+def stripe_of(x: float, world_width: float, n_shards: int) -> int:
+    """Which vertical stripe owns x-coordinate ``x`` (clamped to range)."""
+    if world_width <= 0 or n_shards <= 0:
+        raise ConfigurationError("world width and shard count must be positive")
+    index = int(x / world_width * n_shards)
+    return min(max(index, 0), n_shards - 1)
+
+
+def _packet_to_wire(packet: Packet) -> Tuple:
+    """Flatten a packet for the pipe; payload/headers must be picklable."""
+    return (
+        packet.source, packet.destination, packet.payload,
+        packet.payload_bytes, packet.headers, packet.packet_id,
+        packet.hop_count,
+    )
+
+
+def _packet_from_wire(wire: Tuple) -> Packet:
+    source, destination, payload, payload_bytes, headers, packet_id, hops = wire
+    return Packet(
+        source=source, destination=destination, payload=payload,
+        payload_bytes=payload_bytes, headers=headers,
+        packet_id=packet_id, hop_count=hops,
+    )
+
+
+#: An egress record: (send_time, sender_id, dest_id, packet, air_delay).
+#: ``packet`` is the live object in-process and a wire tuple across pipes.
+_Egress = Tuple[float, str, str, Any, float]
+
+
+def _min_cross_delay(network: Network) -> float:
+    """Smallest delay any frame can incur on this medium (the lookahead bound)."""
+    profile = network.medium.profile
+    return (
+        profile.base_latency_s
+        + profile.serialization_delay(HEADER_BYTES * 8)
+        + network.medium.extra_latency_s
+    )
+
+
+class _InProcessShard:
+    """A shard hosted in the coordinator process (the reference mode)."""
+
+    def __init__(self, build: ShardBuilder, index: int, n_shards: int):
+        self.index = index
+        self.world = build(index, n_shards)
+        self.network = self.world.network
+        self.egress: List[_Egress] = []
+        medium = self.network.medium
+        sim = self.network.sim
+
+        def on_egress(sender_id: str, packet: Packet, delay: float) -> None:
+            self.egress.append(
+                (sim.now(), sender_id, packet.destination, packet, delay)
+            )
+
+        medium.set_egress(on_egress)
+
+    def hello(self) -> Dict[str, Any]:
+        return {
+            "ids": self.network.node_ids(),
+            "positions": {
+                node.node_id: (node.position.x, node.position.y)
+                for node in self.network.nodes()
+            },
+            "range_m": self.network.medium.profile.range_m,
+            "min_delay": _min_cross_delay(self.network),
+        }
+
+    def window(self, t_end: float, injections: List[Tuple[str, Any, float]]) -> List[_Egress]:
+        medium = self.network.medium
+        sim = self.network.sim
+        for dest_id, packet, when in injections:
+            medium.inject(dest_id, packet, max(when, sim.now()))
+        sim.run_until(t_end)
+        out, self.egress = self.egress, []
+        return out
+
+    def finish(self) -> Dict[str, Any]:
+        medium = self.network.medium
+        return {
+            "report": None if self.world.report is None else self.world.report(),
+            "deliveries": medium.deliveries,
+            "transmissions": medium.transmissions,
+            "egress_relayed": medium.egress_relayed,
+            "events": self.network.sim.events_processed,
+        }
+
+    def close(self) -> None:
+        pass
+
+
+def _shard_worker_main(conn, build: ShardBuilder, index: int, n_shards: int) -> None:
+    """Entry point of a persistent shard worker process."""
+    shard = _InProcessShard(build, index, n_shards)
+    try:
+        while True:
+            message = conn.recv()
+            command = message[0]
+            if command == "hello":
+                conn.send(shard.hello())
+            elif command == "window":
+                _, t_end, wire_injections = message
+                injections = [
+                    (dest_id, _packet_from_wire(wire), when)
+                    for dest_id, wire, when in wire_injections
+                ]
+                egress = shard.window(t_end, injections)
+                conn.send([
+                    (send_time, sender_id, dest_id, _packet_to_wire(packet), delay)
+                    for send_time, sender_id, dest_id, packet, delay in egress
+                ])
+            elif command == "finish":
+                conn.send(shard.finish())
+            else:  # "stop"
+                break
+    finally:
+        conn.close()
+
+
+class _ProcessShard:
+    """Proxy for a shard living in a worker process."""
+
+    def __init__(self, build: ShardBuilder, index: int, n_shards: int, ctx):
+        self.index = index
+        parent_conn, child_conn = ctx.Pipe()
+        self._conn = parent_conn
+        self._process = ctx.Process(
+            target=_shard_worker_main,
+            args=(child_conn, build, index, n_shards),
+            daemon=True,
+        )
+        self._process.start()
+        child_conn.close()
+
+    def hello(self) -> Dict[str, Any]:
+        self._conn.send(("hello",))
+        return self._conn.recv()
+
+    def window(self, t_end: float, injections: List[Tuple[str, Any, float]]) -> List[_Egress]:
+        wire_injections = [
+            (dest_id, _packet_to_wire(packet), when)
+            for dest_id, packet, when in injections
+        ]
+        self._conn.send(("window", t_end, wire_injections))
+        return [
+            (send_time, sender_id, dest_id, _packet_from_wire(wire), delay)
+            for send_time, sender_id, dest_id, wire, delay in self._conn.recv()
+        ]
+
+    def finish(self) -> Dict[str, Any]:
+        self._conn.send(("finish",))
+        return self._conn.recv()
+
+    def close(self) -> None:
+        try:
+            self._conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        self._process.join(timeout=10)
+        if self._process.is_alive():  # pragma: no cover - hang backstop
+            self._process.terminate()
+        self._conn.close()
+
+
+class ShardedSimulation:
+    """Coordinate ``n_shards`` spatially partitioned simulations.
+
+    Usage::
+
+        sharded = ShardedSimulation(build_stripe, n_shards=4)
+        result = sharded.run(until=30.0)
+
+    ``build_stripe(shard_index, n_shards)`` constructs one stripe's
+    :class:`ShardWorld` — nodes, handlers, and scheduled workload; it must
+    be deterministic in its arguments (and module-level for
+    ``processes=True``). ``result`` aggregates per-shard reports and
+    medium counters.
+    """
+
+    def __init__(
+        self,
+        build: ShardBuilder,
+        n_shards: int,
+        lookahead: Optional[float] = None,
+        processes: bool = False,
+    ):
+        if n_shards <= 0:
+            raise ConfigurationError(f"shard count must be positive, got {n_shards}")
+        self.n_shards = n_shards
+        if processes:
+            ctx = multiprocessing.get_context()
+            self._shards: List[Any] = [
+                _ProcessShard(build, index, n_shards, ctx)
+                for index in range(n_shards)
+            ]
+        else:
+            self._shards = [
+                _InProcessShard(build, index, n_shards)
+                for index in range(n_shards)
+            ]
+        self._owner: Dict[str, int] = {}
+        self._positions: Dict[str, Tuple[float, float]] = {}
+        range_m = None
+        min_delay = None
+        for shard in self._shards:
+            hello = shard.hello()
+            for node_id in hello["ids"]:
+                if node_id in self._owner:
+                    raise ConfigurationError(
+                        f"node {node_id!r} owned by shards "
+                        f"{self._owner[node_id]} and {shard.index}"
+                    )
+                self._owner[node_id] = shard.index
+            self._positions.update(hello["positions"])
+            if range_m is None:
+                range_m = hello["range_m"]
+                min_delay = hello["min_delay"]
+            elif hello["range_m"] != range_m:
+                raise ConfigurationError(
+                    "shards must share one radio profile (range mismatch)"
+                )
+        self._range_m = range_m if range_m is not None else 0.0
+        min_delay = min_delay if min_delay is not None else 0.0
+        if lookahead is None:
+            lookahead = min_delay
+        if not lookahead > 0:
+            raise ConfigurationError(
+                f"lookahead must be positive, got {lookahead!r}"
+            )
+        if lookahead > min_delay:
+            raise ConfigurationError(
+                f"lookahead {lookahead!r} exceeds the minimum cross-shard "
+                f"delay {min_delay!r}; boundary frames could arrive in a "
+                "shard's past"
+            )
+        self.lookahead = lookahead
+        # Cross-shard accounting (coordinator side).
+        self.relayed = 0
+        self.dropped_out_of_range = 0
+        self.dropped_unknown = 0
+
+    def run(self, until: float) -> Dict[str, Any]:
+        """Advance every shard to virtual time ``until``; return the scorecard."""
+        shards = self._shards
+        owner = self._owner
+        positions = self._positions
+        r2 = self._range_m * self._range_m
+        pending: List[List[Tuple[str, Any, float]]] = [[] for _ in shards]
+        t = 0.0
+        while t < until:
+            t_end = min(t + self.lookahead, until)
+            collected: List[_Egress] = []
+            for shard in shards:
+                injections, pending[shard.index] = pending[shard.index], []
+                collected.extend(shard.window(t_end, injections))
+            for send_time, sender_id, dest_id, packet, delay in collected:
+                dest_shard = owner.get(dest_id)
+                if dest_shard is None:
+                    self.dropped_unknown += 1
+                    continue
+                sx, sy = positions[sender_id]
+                dx_, dy_ = positions[dest_id]
+                dx = dx_ - sx
+                dy = dy_ - sy
+                if dx * dx + dy * dy > r2:
+                    self.dropped_out_of_range += 1
+                    continue
+                self.relayed += 1
+                pending[dest_shard].append((dest_id, packet, send_time + delay))
+            t = t_end
+        # Drain: relayed frames may land just past `until`; run one final
+        # lookahead window per remaining in-flight batch so nothing is lost.
+        while any(pending):
+            t_end = t + self.lookahead
+            for shard in shards:
+                injections, pending[shard.index] = pending[shard.index], []
+                shard.window(t_end, injections)
+            t = t_end
+        reports = [shard.finish() for shard in shards]
+        return {
+            "shards": reports,
+            "relayed": self.relayed,
+            "dropped_out_of_range": self.dropped_out_of_range,
+            "dropped_unknown": self.dropped_unknown,
+            "deliveries": sum(r["deliveries"] for r in reports),
+            "transmissions": sum(r["transmissions"] for r in reports),
+            "events": sum(r["events"] for r in reports),
+        }
+
+    def close(self) -> None:
+        for shard in self._shards:
+            shard.close()
+
+    def __enter__(self) -> "ShardedSimulation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

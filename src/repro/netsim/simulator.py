@@ -12,6 +12,21 @@ assignment against the queue's documented internals rather than going
 through ``pop()``/``peek()`` per event. The heap invariant — every queued
 entry's time is >= the current clock, enforced at scheduling — is what
 makes the unguarded clock assignment in those loops safe.
+
+Swarm-scale additions (see ARCHITECTURE §13):
+
+* :meth:`Simulator.call_later` is the fire-and-forget fast path — no
+  :class:`EventHandle` allocation, for callers that never cancel (the
+  wireless medium's per-reception delivery events are the heavy user).
+* :meth:`Simulator.schedule_batch` folds N same-tick zero-arg callbacks
+  into **one** queue entry, so a 10k-receiver broadcast costs one heap
+  push/pop instead of 10k. Batched callbacks fire back-to-back in list
+  order, which is exactly the order N individually scheduled same-time
+  events would have fired in (consecutive sequence numbers), so delivery
+  traces are unchanged — but a same-time tie-breaker cannot interleave
+  *between* them, which is why callers that need explorable interleavings
+  (:mod:`repro.simtest`) check :meth:`Simulator.tie_breaker_installed`
+  before batching.
 """
 
 from __future__ import annotations
@@ -26,6 +41,12 @@ from repro.util.priorityqueue import StablePriorityQueue, _ITEM, _REMOVED
 
 #: A queue item: the callback and its (possibly empty) argument tuple.
 Event = Tuple[Callable[..., None], Tuple[Any, ...]]
+
+
+def _fire_batch(callbacks: List[Callable[[], None]]) -> None:
+    """Dispatch one same-tick batch (see :meth:`Simulator.schedule_batch`)."""
+    for fn in callbacks:
+        fn()
 
 
 class EventHandle:
@@ -84,6 +105,15 @@ class Simulator:
         """
         self._queue.set_tie_breaker(tie_breaker)
 
+    def tie_breaker_installed(self) -> bool:
+        """True while a same-time tie-breaker is active.
+
+        Same-tick batching (:meth:`schedule_batch`, the medium's broadcast
+        delivery batches) is disabled while one is installed, so schedule
+        exploration keeps its power to interleave individual deliveries.
+        """
+        return self._queue._tie_breaker is not None
+
     # ------------------------------------------------------------------ time
 
     def now(self) -> float:
@@ -119,6 +149,40 @@ class Simulator:
         when = when + 0.0  # normalize ints so now() stays a float
         entry = self._queue.push(when, (fn, args))
         return EventHandle(self._queue, entry, when)
+
+    def call_later(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` seconds; no cancellation handle.
+
+        The fire-and-forget twin of :meth:`schedule`, for hot paths that
+        never cancel what they schedule (per-reception medium deliveries).
+        Skipping the :class:`EventHandle` allocation saves real time at
+        swarm scale — the event itself is identical to one scheduled via
+        :meth:`schedule` (same queue, same ordering, same profiler
+        accounting).
+        """
+        if not delay >= 0.0:
+            raise SimulationError(f"cannot schedule event with delay {delay!r}")
+        self._queue.push(self._clock._now + delay, (fn, args))
+
+    def schedule_batch(
+        self, delay: float, callbacks: List[Callable[[], None]]
+    ) -> None:
+        """Run every zero-arg callback in ``callbacks`` after ``delay``, as
+        one queue entry.
+
+        The callbacks fire back-to-back in list order at the same virtual
+        instant — exactly the order they would have fired in had each been
+        scheduled individually (consecutive sequence numbers) — but the
+        queue carries a single entry, so the per-event heap and dispatch
+        overhead is paid once instead of ``len(callbacks)`` times. The
+        batch counts as one processed event. Callers that must preserve
+        same-time *interleavability* (schedule exploration) should fall
+        back to individual scheduling while
+        :meth:`tie_breaker_installed` is true.
+        """
+        if not delay >= 0.0:
+            raise SimulationError(f"cannot schedule event with delay {delay!r}")
+        self._queue.push(self._clock._now + delay, (_fire_batch, (callbacks,)))
 
     def schedule_every(
         self,

@@ -161,3 +161,60 @@ class TestPeriodic:
         periodic = sim.schedule_every(1.0, lambda: None)
         sim.run_until(5.5)
         assert periodic.firings == 5
+
+
+class TestHotPathScheduling:
+    """call_later / schedule_batch — the allocation-lean swarm hot paths."""
+
+    def test_call_later_fires_with_args(self):
+        sim = Simulator()
+        seen = []
+        sim.call_later(1.5, seen.append, "value")
+        sim.run()
+        assert seen == ["value"]
+        assert sim.now() == 1.5
+
+    def test_call_later_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.call_later(-0.1, lambda: None)
+
+    def test_call_later_nan_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.call_later(float("nan"), lambda: None)
+
+    def test_schedule_batch_fires_in_list_order_as_one_event(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_batch(1.0, [lambda i=i: order.append(i)
+                                 for i in range(10)])
+        sim.run()
+        assert order == list(range(10))
+        # The whole batch is one queue entry, so one processed event.
+        assert sim.events_processed == 1
+
+    def test_batch_orders_against_neighbors_by_push_order(self):
+        # Same-timestamp entries fire in push order whether they are
+        # singletons or batches: the batch is one entry at its push seq.
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("before"))
+        sim.schedule_batch(1.0, [lambda: order.append("batch-a"),
+                                 lambda: order.append("batch-b")])
+        sim.schedule(1.0, lambda: order.append("after"))
+        sim.run()
+        assert order == ["before", "batch-a", "batch-b", "after"]
+
+    def test_schedule_batch_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_batch(-1.0, [lambda: None])
+
+    def test_tie_breaker_installed_flag(self):
+        sim = Simulator()
+        assert not sim.tie_breaker_installed()
+        sim.set_tie_breaker(lambda: 0)
+        assert sim.tie_breaker_installed()
+        sim.set_tie_breaker(None)
+        assert not sim.tie_breaker_installed()
