@@ -49,6 +49,7 @@ BENCH_FILES = [
     Path(__file__).resolve().parent / "bench_micro.py",
     Path(__file__).resolve().parent / "bench_obs.py",
     Path(__file__).resolve().parent / "bench_reconfigure_loop.py",
+    Path(__file__).resolve().parent / "bench_replication.py",
 ]
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_micro.json"
 SCALE_OUTPUT = REPO_ROOT / "BENCH_scale.json"

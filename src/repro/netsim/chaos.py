@@ -49,6 +49,9 @@ from repro.obs.metrics import get_registry
 from repro.obs.tracing import TRACER
 from repro.qos.spec import SupplierQoS
 from repro.recovery.heartbeat import HeartbeatDetector
+from repro.replication.client import GroupClient
+from repro.replication.replica import ReplicationParams, deploy_group
+from repro.replication.services import LedgerMachine, ReplicatedLedger
 from repro.routing.flooding import FloodingRouter
 from repro.transport.base import Address
 from repro.transport.reliable import ReliabilityParams, ReliableTransport
@@ -58,11 +61,30 @@ from repro.util.rng import split_rng
 
 #: The campaign fault mixes. Each is a different storm shape over the same
 #: deployment; ``corrupt`` and ``partition`` cover the two scenarios the
-#: acceptance criteria single out (corrupt-frame and mobile-partition).
-FAULT_MIXES = ("churn", "partition", "corrupt")
+#: acceptance criteria single out (corrupt-frame and mobile-partition), and
+#: ``failover`` adds a replicated ledger group whose primary is crashed
+#: mid-storm, so coordinator election runs over the multi-hop stack.
+FAULT_MIXES = ("churn", "partition", "corrupt", "failover")
 
 _HB_PORT = "hb"
 _BULK_PORT = "bulk"
+_REPL_PORT = "rled"
+
+#: The failover mix's replica group: the middle column of the 3x3 grid,
+#: so replication traffic (and the election) genuinely crosses hops.
+_REPL_MEMBERS = ("n0_1", "n1_1", "n2_1")
+_REPL_PRIMARY = "n2_1"  # highest id: the member Bully election picks
+
+#: Coarse group timers for the multi-hop, clock-skewed deployment.
+_REPL_PARAMS = ReplicationParams(
+    hb_interval_s=1.0,
+    hb_timeout_multiplier=2.5,
+    elect_timeout_s=1.5,
+    sync_timeout_s=1.5,
+    coord_timeout_s=3.0,
+    beacon_interval_s=1.0,
+    write_timeout_s=6.0,
+)
 
 #: Ledger accounts and their initial balance (conservation invariant).
 _ACCOUNTS = ("acct0", "acct1", "acct2", "acct3")
@@ -143,6 +165,8 @@ class _CampaignState:
     bulk_received: List[int] = field(default_factory=list)
     transfers_attempted: int = 0
     transfers_acked: Set[str] = field(default_factory=set)
+    repl_transfers_attempted: int = 0
+    repl_transfers_acked: Set[str] = field(default_factory=set)
     suspect_events: List[Tuple[float, str]] = field(default_factory=list)
     alive_events: List[Tuple[float, str]] = field(default_factory=list)
     discovery_probes: List[_ProbeRecord] = field(default_factory=list)
@@ -290,6 +314,32 @@ class ChaosCampaign:
                 detector.send_to(monitor_hb)
             self.detectors[node_id] = detector
 
+        # The failover mix adds a replicated ledger group over the middle
+        # column, its ports opened on the routing agents so replication
+        # frames (log appends, elections, group heartbeats) are multi-hop.
+        self.repl_group = None
+        self.repl_client = None
+        if spec.mix == "failover":
+            def routed(node_id: str, port: str):
+                agent = self.nodes[node_id].routing_agent
+                assert agent is not None
+                return agent.open_port(port)
+
+            self.repl_group = deploy_group(
+                routed, _REPL_MEMBERS,
+                lambda: LedgerMachine(
+                    {a: _INITIAL_BALANCE for a in _ACCOUNTS}
+                ),
+                port=_REPL_PORT, params=_REPL_PARAMS, group="rled",
+            )
+            self.repl_client = GroupClient(
+                routed(self.monitor_id, f"{_REPL_PORT}.c"),
+                [Address(n, _REPL_PORT) for n in _REPL_MEMBERS],
+                request_timeout_s=2.0,
+                max_attempts=10,
+            )
+            self.repl_ledger = ReplicatedLedger(self.repl_client)
+
     # -------------------------------------------------------------- workload
 
     def _on_bulk(self, _source: Address, payload: bytes) -> None:
@@ -364,6 +414,33 @@ class ChaosCampaign:
             sim.schedule_at(t + 0.5, probe_rpc)
             t += spec.probe_interval_s
 
+        # Replicated transfers against the failover mix's replica group:
+        # the client retries across the primary crash, and the rid-keyed
+        # result cache must keep application at-most-once.
+        if self.repl_group is not None:
+            repl_rng = split_rng(spec.seed, "chaos-repl-transfers")
+
+            def send_repl_transfer(txid: str) -> None:
+                src, dst_acct = repl_rng.sample(_ACCOUNTS, 2)
+                amount = repl_rng.randint(1, 10)
+                self.state.repl_transfers_attempted += 1
+                promise = self.repl_ledger.transfer(txid, src, dst_acct,
+                                                    amount)
+                promise.on_settle(
+                    lambda settled, txid=txid: (
+                        self.state.repl_transfers_acked.add(txid)
+                        if settled.fulfilled and settled.result() is True
+                        else None
+                    )
+                )
+
+            t = 3.0
+            index = 0
+            while t < spec.transfer_stop_s:
+                sim.schedule_at(t, send_repl_transfer, f"rtx{index}")
+                index += 1
+                t += spec.transfer_interval_s * 2.0
+
         # MiLAN baseline selection early in the run.
         def milan_baseline() -> None:
             promise = monitor.find(Query("vital-sensor", max_results=20))
@@ -428,6 +505,8 @@ class ChaosCampaign:
             self._schedule_churn()
         elif spec.mix == "partition":
             self._schedule_partition()
+        elif spec.mix == "failover":
+            self._schedule_failover()
         else:
             self._schedule_corrupt()
 
@@ -489,6 +568,18 @@ class ChaosCampaign:
             self.injector.degrade_at(start, duration,
                                      extra_latency_s=self.rng.uniform(0.02, 0.05))
             self.fault_counts["degrade_windows"] += 1
+
+    def _schedule_failover(self) -> None:
+        # One long crash of the replica group's primary — long enough for
+        # detection (2.5 s of group heartbeats) plus an election round plus
+        # committed traffic under the new coordinator before it returns...
+        (start, duration), = self._fault_times(1, (8.0, 12.0))
+        self._crash(_REPL_PRIMARY, start, duration)
+        # ...and a loss burst so replication retries share a degraded net.
+        for start, duration in self._fault_times(1, (3.0, 5.0)):
+            self.injector.loss_burst_at(start, duration,
+                                        extra_loss=self.rng.uniform(0.15, 0.3))
+            self.fault_counts["loss_bursts"] += 1
 
     def _schedule_corrupt(self) -> None:
         for start, duration in self._fault_times(2, (4.0, 7.0)):
@@ -596,6 +687,70 @@ class ChaosCampaign:
             "spurious_suspects": spurious,
         }
 
+    def _check_replication(self, violations: List[str]) -> Optional[Dict[str, Any]]:
+        """Failover-mix invariants on the replicated ledger group.
+
+        After the heal the group must have exactly one primary at a term
+        above the initial one, every member converged to the same applied
+        prefix, money conserved on every replica, and every transfer the
+        client saw acknowledged present in every replica's applied set.
+        """
+        if self.repl_group is None:
+            return None
+        members = self.repl_group
+        primaries = [n for n, r in members.items() if r.role == "primary"]
+        if len(primaries) != 1:
+            violations.append(
+                f"replication: expected one primary after heal, got {primaries}"
+            )
+        new_primary = primaries[0] if len(primaries) == 1 else None
+        if new_primary is not None and members[new_primary].term < 2:
+            violations.append(
+                "replication: primary never advanced past the initial term"
+            )
+        head = members[_REPL_MEMBERS[0]]
+        for node in _REPL_MEMBERS[1:]:
+            replica = members[node]
+            if (replica.applied_index != head.applied_index
+                    or replica.machine.snapshot() != head.machine.snapshot()):
+                violations.append(
+                    f"replication: {node} diverged from {_REPL_MEMBERS[0]} "
+                    f"({replica.applied_index} != {head.applied_index})"
+                )
+        conserved = True
+        for node, replica in members.items():
+            total = sum(replica.machine.balances.values())
+            if total != _INITIAL_BALANCE * len(_ACCOUNTS):
+                conserved = False
+                violations.append(
+                    f"replication: conservation broken on {node} "
+                    f"(total={total})"
+                )
+            missing = (self.state.repl_transfers_acked
+                       - replica.machine.applied_txids)
+            if missing:
+                violations.append(
+                    f"replication: {len(missing)} acked txids missing "
+                    f"on {node}"
+                )
+        return {
+            "members": list(_REPL_MEMBERS),
+            "primary": new_primary,
+            "terms": {n: members[n].term for n in _REPL_MEMBERS},
+            "applied_index": {
+                n: members[n].applied_index for n in _REPL_MEMBERS
+            },
+            "election_rounds": sum(
+                members[n].election.rounds for n in _REPL_MEMBERS
+            ),
+            "transfers": {
+                "attempted": self.state.repl_transfers_attempted,
+                "acked": len(self.state.repl_transfers_acked),
+                "applied": len(head.machine.applied_txids),
+            },
+            "conserved": conserved,
+        }
+
     def _first_ok_after(self, probes: List[_ProbeRecord],
                         after: float) -> Optional[float]:
         for record in probes:
@@ -680,15 +835,18 @@ class ChaosCampaign:
 
         heartbeat = self._check_heartbeat(violations)
         reconvergence = self._check_reconvergence(violations)
+        replication = self._check_replication(violations)
 
         scorecard = self._scorecard(violations, heartbeat, reconvergence,
-                                    duplicate_deliveries, max_window, conserved)
+                                    duplicate_deliveries, max_window, conserved,
+                                    replication)
         self._publish(scorecard)
         self._teardown()
         return scorecard
 
     def _scorecard(self, violations, heartbeat, reconvergence,
-                   duplicate_deliveries, max_window, conserved) -> Dict[str, Any]:
+                   duplicate_deliveries, max_window, conserved,
+                   replication) -> Dict[str, Any]:
         state = self.state
         sent = state.bulk_sent
         delivered = len(set(state.bulk_received))
@@ -722,6 +880,9 @@ class ChaosCampaign:
             ),
             "heartbeat_exact": heartbeat["missed"] == 0
             and heartbeat["duplicate_detections"] == 0,
+            "replication_failover": not any(
+                v.startswith("replication:") for v in violations
+            ),
         }
         return {
             "mix": self.spec.mix,
@@ -757,6 +918,7 @@ class ChaosCampaign:
                 "satisfied_after": milan_after_ok,
                 "sensors_after": milan_after_sensors,
             },
+            "replication": replication,
             "invariants": invariants,
             "violations": sorted(violations),
             "ok": not violations,
@@ -784,6 +946,10 @@ class ChaosCampaign:
         )
 
     def _teardown(self) -> None:
+        if self.repl_group is not None:
+            for replica in self.repl_group.values():
+                replica.close()
+            self.repl_client.close()
         for detector in self.detectors.values():
             detector.stop()
         self.bulk_sender.close()

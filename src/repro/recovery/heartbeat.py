@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Set
 from repro.errors import ConfigurationError
 from repro.interop.codec import Codec, get_codec, try_decode_dict
 from repro.transport.base import Address, Transport
-from repro.util.events import EventEmitter
+from repro.util.events import EventEmitter, Subscription
 
 
 @dataclass
@@ -78,6 +78,25 @@ class HeartbeatDetector:
 
     def unwatch(self, node_id: str) -> None:
         self._watched.pop(node_id, None)
+
+    # --------------------------------------------------------- subscriptions
+
+    def on_suspect(self, callback) -> Subscription:
+        """Invoke ``callback(node_id)`` when a watched peer becomes suspected.
+
+        Fires exactly once per alive→suspected transition: the ``suspected``
+        flag on :class:`PeerState` only flips on a state change, so a flapping
+        peer produces alternating suspect/alive callbacks, never a storm of
+        duplicate suspects.
+        """
+        return self.events.on("suspect", callback)
+
+    def on_recover(self, callback) -> Subscription:
+        """Invoke ``callback(node_id)`` when a suspected peer is heard again.
+
+        Exactly once per suspected→alive transition (see :meth:`on_suspect`).
+        """
+        return self.events.on("alive", callback)
 
     # -------------------------------------------------------------- queries
 

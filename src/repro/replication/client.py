@@ -1,0 +1,345 @@
+"""Client-side routing for replicated, sharded deployments.
+
+A :class:`GroupClient` talks to one replica group: it tracks a leader
+hint, follows ``redirect`` answers, scans the membership when the hint
+goes cold, and retries through election windows with capped backoff — so
+callers see a Promise that settles once *some* primary commits the op,
+however many failovers happened in between.
+
+Read consistency is an explicit knob (``mode``):
+
+- ``"primary"`` (default) — linearizable; served only by a primary that
+  still observes a quorum.
+- ``"ryw"`` — read-your-writes; any backup whose applied index has reached
+  the client's last acked write index may answer (a backup that has not
+  answers ``stale`` and the client retries at the primary).
+- ``"any"`` — monotonic-prefix-stale; load-balanced round-robin across
+  backups, whatever they have applied.
+
+A :class:`ShardedClient` fans a keyspace across per-shard group clients
+via a :class:`~repro.replication.shards.ShardMap`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, DeliveryError
+from repro.interop.codec import Codec, get_codec, try_decode_dict
+from repro.replication.shards import ShardMap
+from repro.transport.base import Address, Transport
+from repro.util.ids import IdGenerator
+from repro.util.promise import Promise
+
+
+@dataclass
+class _Request:
+    rid: str
+    message: Dict[str, Any]
+    promise: Promise
+    blocking: bool
+    read: bool
+    attempts: int = 0
+    probe: int = 0
+    force_primary: bool = False
+    target: Optional[Address] = None
+    timer: Any = None
+
+
+class GroupClient:
+    """Routes commands and reads to one replica group."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        members: Sequence[Address],
+        *,
+        codec: Optional[Codec] = None,
+        request_timeout_s: float = 1.0,
+        max_attempts: Optional[int] = 12,
+        backoff_factor: float = 1.5,
+        max_backoff_s: float = 4.0,
+    ):
+        if not members:
+            raise ConfigurationError("a group client needs at least one member")
+        self.transport = transport
+        self.codec = codec if codec is not None else get_codec("binary")
+        self.members: List[Address] = sorted(set(members))
+        self.request_timeout_s = request_timeout_s
+        self.max_attempts = max_attempts
+        self.backoff_factor = backoff_factor
+        self.max_backoff_s = max_backoff_s
+        self.scheduler = transport.scheduler
+        # Bully picks the highest node id, so that is the best cold guess.
+        self._leader: Optional[int] = max(
+            range(len(self.members)), key=lambda i: self.members[i].node
+        )
+        self._rr = 0
+        self._requests: Dict[str, _Request] = {}
+        local = transport.local_address
+        self._rids = IdGenerator(f"c.{local.node}.{local.port}")
+        self.seen_index = 0
+        self.redirects = 0
+        self.failovers = 0
+        self.stale_retries = 0
+        self.rejections = 0
+        self.malformed_frames = 0
+        transport.set_receiver(self._on_message)
+
+    # ------------------------------------------------------------------ API
+
+    def command(
+        self, name: str, *args: Any, rid: Optional[str] = None,
+        blocking: bool = False,
+    ) -> Promise:
+        """Replicate one state mutation; fulfills with the applied result.
+
+        ``rid`` is the idempotency key — callers with a natural one (e.g. a
+        transaction id) should pass it so retries across failovers dedup.
+        ``blocking`` ops (tuple-space ``in``/``rd``) retry indefinitely.
+        """
+        rid = rid if rid is not None else self._rids.next()
+        message = {"op": "cmd", "rid": rid, "name": name, "args": list(args)}
+        return self._submit(rid, message, blocking=blocking, read=False)
+
+    def read(self, name: str, *args: Any, mode: str = "primary") -> Promise:
+        if mode not in ("primary", "ryw", "any"):
+            raise ConfigurationError(f"unknown read mode {mode!r}")
+        rid = self._rids.next()
+        message = {
+            "op": "cmd",
+            "rid": rid,
+            "name": name,
+            "args": list(args),
+            "read": True,
+            "mode": mode,
+            "min_index": self.seen_index if mode == "ryw" else 0,
+        }
+        return self._submit(rid, message, blocking=False, read=True)
+
+    def close(self) -> None:
+        """Cancel timers and reject everything still in flight."""
+        for req in list(self._requests.values()):
+            self._settle(req)
+            if req.promise.pending:
+                req.promise.reject(DeliveryError("group client closed"))
+        if not self.transport.closed:
+            self.transport.close()
+
+    # ------------------------------------------------------------- internals
+
+    def _submit(
+        self, rid: str, message: Dict[str, Any], *, blocking: bool, read: bool
+    ) -> Promise:
+        promise = Promise()
+        request = _Request(
+            rid=rid, message=message, promise=promise,
+            blocking=blocking, read=read,
+        )
+        self._requests[rid] = request
+        self._send_attempt(request)
+        return promise
+
+    def _pick_target(self, request: _Request) -> Address:
+        wants_primary = (
+            not request.read
+            or request.message.get("mode") == "primary"
+            or request.force_primary
+        )
+        if wants_primary:
+            if self._leader is not None:
+                return self.members[self._leader]
+            target = self.members[request.probe % len(self.members)]
+            return target
+        # Relaxed read: round-robin the members that are not the leader hint.
+        candidates = [
+            m for i, m in enumerate(self.members) if i != self._leader
+        ]
+        if not candidates:
+            return self.members[self._leader if self._leader is not None else 0]
+        target = candidates[self._rr % len(candidates)]
+        self._rr += 1
+        return target
+
+    def _send_attempt(self, request: _Request) -> None:
+        if request.rid not in self._requests:
+            return
+        if self.transport.closed:
+            self._settle(request)
+            if request.promise.pending:
+                request.promise.reject(DeliveryError("transport closed"))
+            return
+        request.attempts += 1
+        request.target = self._pick_target(request)
+        if request.timer is not None:
+            request.timer.cancel()
+        request.timer = self.scheduler.schedule(
+            self.request_timeout_s, self._on_timeout, request.rid,
+            request.attempts,
+        )
+        self.transport.send(request.target, self.codec.encode(request.message))
+
+    def _on_timeout(self, rid: str, attempt: int) -> None:
+        request = self._requests.get(rid)
+        if request is None or request.attempts != attempt:
+            return
+        self.failovers += 1
+        if (
+            self._leader is not None
+            and request.target == self.members[self._leader]
+        ):
+            self._leader = None  # the hinted leader is not answering
+        request.probe += 1
+        self._retry(request, immediate=True)
+
+    def _retry(self, request: _Request, immediate: bool) -> None:
+        if (
+            not request.blocking
+            and self.max_attempts is not None
+            and request.attempts >= self.max_attempts
+        ):
+            self._settle(request)
+            request.promise.reject(
+                DeliveryError(
+                    f"request {request.rid} gave up after "
+                    f"{request.attempts} attempts"
+                )
+            )
+            return
+        if immediate:
+            self._send_attempt(request)
+            return
+        delay = min(
+            self.request_timeout_s
+            * (self.backoff_factor ** max(0, request.attempts - 1)),
+            self.max_backoff_s,
+        )
+        attempt = request.attempts
+        if request.timer is not None:
+            request.timer.cancel()
+        request.timer = self.scheduler.schedule(
+            delay, self._deferred_resend, request.rid, attempt
+        )
+
+    def _deferred_resend(self, rid: str, attempt: int) -> None:
+        request = self._requests.get(rid)
+        if request is None or request.attempts != attempt:
+            return
+        self._send_attempt(request)
+
+    def _settle(self, request: _Request) -> None:
+        if request.timer is not None:
+            request.timer.cancel()
+            request.timer = None
+        self._requests.pop(request.rid, None)
+
+    def _leader_index(self, node: Optional[str]) -> Optional[int]:
+        if not node:
+            return None
+        for i, member in enumerate(self.members):
+            if member.node == node:
+                return i
+        return None
+
+    def _on_message(self, source: Address, payload: bytes) -> None:
+        message = try_decode_dict(self.codec, payload)
+        if message is None:
+            self.malformed_frames += 1
+            return
+        rid = message.get("rid")
+        request = self._requests.get(rid) if isinstance(rid, str) else None
+        if request is None:
+            return  # late answer for an already-settled request
+        op = message.get("op")
+        if op == "cmd_ack":
+            index = message.get("index", 0)
+            if isinstance(index, int) and index > self.seen_index:
+                self.seen_index = index
+            self._settle(request)
+            request.promise.fulfill(message.get("result"))
+        elif op == "cmd_err":
+            self.rejections += 1
+            if message.get("error") == "deposed":
+                self._leader = None
+                self._retry(request, immediate=True)
+            else:  # no_quorum: wait out the election window
+                self._leader = None
+                request.probe += 1
+                self._retry(request, immediate=False)
+        elif op == "redirect":
+            self.redirects += 1
+            leader = self._leader_index(message.get("leader"))
+            if leader is not None and leader != self._leader:
+                self._leader = leader
+                self._retry(request, immediate=True)
+            else:
+                # The member does not know a (new) leader either: back off.
+                if leader is None:
+                    self._leader = None
+                request.probe += 1
+                self._retry(request, immediate=False)
+        elif op == "stale":
+            self.stale_retries += 1
+            request.force_primary = True
+            leader = self._leader_index(message.get("leader"))
+            if leader is not None:
+                self._leader = leader
+            self._retry(request, immediate=True)
+
+    # ---------------------------------------------------------------- stats
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "redirects": self.redirects,
+            "failovers": self.failovers,
+            "stale_retries": self.stale_retries,
+            "rejections": self.rejections,
+            "in_flight": len(self._requests),
+        }
+
+
+class ShardedClient:
+    """Routes a keyspace across replica groups via a :class:`ShardMap`.
+
+    ``transport_factory(shard)`` must return a dedicated client transport
+    per shard (transports are single-receiver endpoints).
+    """
+
+    def __init__(
+        self,
+        transport_factory: Callable[[int], Transport],
+        shard_map: ShardMap,
+        **client_kwargs: Any,
+    ):
+        self.shard_map = shard_map
+        self.groups: List[GroupClient] = [
+            GroupClient(
+                transport_factory(shard), shard_map.groups[shard],
+                **client_kwargs,
+            )
+            for shard in range(shard_map.num_shards)
+        ]
+
+    def group(self, key: str) -> GroupClient:
+        return self.groups[self.shard_map.shard_of(key)]
+
+    def command(
+        self, key: str, name: str, *args: Any,
+        rid: Optional[str] = None, blocking: bool = False,
+    ) -> Promise:
+        return self.group(key).command(name, *args, rid=rid, blocking=blocking)
+
+    def read(self, key: str, name: str, *args: Any, mode: str = "primary") -> Promise:
+        return self.group(key).read(name, *args, mode=mode)
+
+    def close(self) -> None:
+        for group in self.groups:
+            group.close()
+
+    def stats(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for group in self.groups:
+            for key, value in group.stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals

@@ -1,0 +1,154 @@
+"""The replicated op log.
+
+Every state mutation travels through a :class:`OpLog`: a monotonically
+indexed, term-stamped sequence of :class:`LogEntry` records. Indices are
+1-based; index 0 is the empty prefix (term 0). The log tracks a commit
+index (everything at or below it is replicated on an ack quorum and safe
+to apply) and compaction metadata (``snapshot_index``/``snapshot_term``)
+so a primary can discard the applied prefix and bring a far-behind backup
+up via state transfer instead of replaying history.
+
+The log itself is deliberately passive — all protocol decisions (when to
+append, truncate, or advance commit) live in
+:mod:`repro.replication.replica`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One replicated operation.
+
+    ``rid`` is the client-chosen request id used for at-most-once
+    application (retries of an already-logged rid never re-append).
+    """
+
+    index: int
+    term: int
+    rid: str
+    name: str
+    args: Tuple[Any, ...]
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "i": self.index,
+            "t": self.term,
+            "r": self.rid,
+            "n": self.name,
+            "a": list(self.args),
+        }
+
+    @staticmethod
+    def from_wire(raw: Dict[str, Any]) -> "LogEntry":
+        return LogEntry(
+            index=int(raw["i"]),
+            term=int(raw["t"]),
+            rid=str(raw["r"]),
+            name=str(raw["n"]),
+            args=tuple(raw["a"]),
+        )
+
+
+class OpLog:
+    """A 1-based, compactable op log with a commit watermark."""
+
+    def __init__(self) -> None:
+        self._entries: List[LogEntry] = []
+        self.snapshot_index = 0  # everything <= this has been compacted away
+        self.snapshot_term = 0
+        self.commit_index = 0
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def first_index(self) -> int:
+        """Index of the first retained entry (snapshot_index + 1)."""
+        return self.snapshot_index + 1
+
+    @property
+    def last_index(self) -> int:
+        return self.snapshot_index + len(self._entries)
+
+    def entry(self, index: int) -> Optional[LogEntry]:
+        """The retained entry at ``index``, or None if absent/compacted."""
+        offset = index - self.first_index
+        if 0 <= offset < len(self._entries):
+            return self._entries[offset]
+        return None
+
+    def term_at(self, index: int) -> Optional[int]:
+        """Term of the entry at ``index``; 0 for the empty prefix, None if
+        unknown (beyond the log, or compacted below the snapshot)."""
+        if index == 0:
+            return 0
+        if index == self.snapshot_index:
+            return self.snapshot_term
+        entry = self.entry(index)
+        return entry.term if entry is not None else None
+
+    def entries_from(self, index: int) -> List[LogEntry]:
+        """All retained entries with index >= ``index``."""
+        offset = max(0, index - self.first_index)
+        return list(self._entries[offset:])
+
+    # ------------------------------------------------------------ mutations
+
+    def append(self, term: int, rid: str, name: str, args: Tuple[Any, ...]) -> LogEntry:
+        entry = LogEntry(self.last_index + 1, term, rid, name, tuple(args))
+        self._entries.append(entry)
+        return entry
+
+    def extend(self, entries: List[LogEntry]) -> None:
+        """Append pre-built entries; indices must continue the log exactly."""
+        for entry in entries:
+            if entry.index != self.last_index + 1:
+                raise ConfigurationError(
+                    f"log extend out of order: expected index "
+                    f"{self.last_index + 1}, got {entry.index}"
+                )
+            self._entries.append(entry)
+
+    def truncate_from(self, index: int) -> int:
+        """Drop every entry with index >= ``index``; returns dropped count.
+
+        Never allowed to cross the commit watermark — committed entries are
+        immutable by construction, a caller asking to drop one is a protocol
+        bug.
+        """
+        if index <= self.commit_index:
+            raise ConfigurationError(
+                f"refusing to truncate committed prefix: index {index} <= "
+                f"commit {self.commit_index}"
+            )
+        offset = max(0, index - self.first_index)
+        dropped = len(self._entries) - offset
+        if dropped > 0:
+            del self._entries[offset:]
+        return max(0, dropped)
+
+    def compact_to(self, index: int) -> None:
+        """Discard entries at or below ``index`` (must be committed)."""
+        if index > self.commit_index:
+            raise ConfigurationError(
+                f"cannot compact beyond commit: {index} > {self.commit_index}"
+            )
+        if index <= self.snapshot_index:
+            return
+        term = self.term_at(index)
+        offset = index - self.first_index + 1
+        del self._entries[:offset]
+        self.snapshot_index = index
+        self.snapshot_term = term if term is not None else 0
+
+    def reset(self, index: int, term: int) -> None:
+        """Replace the whole log with a snapshot boundary (state transfer)."""
+        self._entries = []
+        self.snapshot_index = index
+        self.snapshot_term = term
+        self.commit_index = index

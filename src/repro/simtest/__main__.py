@@ -7,11 +7,15 @@
         --expect-divergence --repro-out simtest-repro.json
     python -m repro.simtest repro simtest-repro.json
     python -m repro.simtest plants
+    python -m repro.simtest failover --runs 10 --seed 0 --json failover.json
 
 ``run`` explores; on divergence it shrinks the trace, writes a repro file,
 and exits 1 (or 0 with ``--expect-divergence``, the planted-bug smoke
 mode, which also verifies the written repro replays). ``repro`` replays a
 repro file and exits 0 iff the recorded divergence reproduces.
+``failover`` runs the replicated primary-kill world
+(:mod:`repro.simtest.replicated`) over a seed range and exits nonzero on
+any divergence.
 """
 
 from __future__ import annotations
@@ -90,6 +94,35 @@ def _cmd_repro(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_failover(args: argparse.Namespace) -> int:
+    from repro.simtest.replicated import run_failover
+
+    scorecards = []
+    failed = 0
+    for seed in range(args.seed, args.seed + args.runs):
+        scorecard = run_failover(seed, tie_seed=args.tie_seed)
+        scorecards.append(scorecard)
+        failover = scorecard["failover"]
+        if scorecard["ok"]:
+            print(f"failover: seed={seed} ok "
+                  f"(new primary {failover['new_primary']} after "
+                  f"{failover['latency_s']}s, "
+                  f"{scorecard['stats']['lin_objects']} histories checked)")
+        else:
+            failed += 1
+            first = scorecard["divergences"][0]
+            print(f"failover: seed={seed} DIVERGED "
+                  f"[{first['oracle']}/{first['kind']}] {first['detail']}")
+    if args.json:
+        _write_json(args.json, {"runs": scorecards, "failed": failed})
+    if failed:
+        print(f"failover: {failed}/{args.runs} runs diverged",
+              file=sys.stderr)
+        return 1
+    print(f"failover: {args.runs} runs, zero divergences")
+    return 0
+
+
 def _cmd_plants(_args: argparse.Namespace) -> int:
     for name in sorted(PLANTS):
         print(f"{name}: {PLANTS[name][1]}")
@@ -131,6 +164,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     repro = commands.add_parser("repro", help="replay a minimized repro file")
     repro.add_argument("file")
     repro.set_defaults(func=_cmd_repro)
+
+    failover = commands.add_parser(
+        "failover", help="run the replicated primary-kill scenario"
+    )
+    failover.add_argument("--seed", type=int, default=0,
+                          help="first seed of the range")
+    failover.add_argument("--runs", type=int, default=5,
+                          help="number of seeds to run (default 5)")
+    failover.add_argument("--tie-seed", type=int, default=0)
+    failover.add_argument("--json", default=None,
+                          help="write all scorecards here")
+    failover.set_defaults(func=_cmd_failover)
 
     plants = commands.add_parser("plants", help="list available plants")
     plants.set_defaults(func=_cmd_plants)

@@ -1,0 +1,458 @@
+"""The replicated simtest world: kill the primary, judge the failover.
+
+A second fixed deployment next to :class:`repro.simtest.world.SimWorld`,
+built around :mod:`repro.replication` instead of single-host services.
+Six nodes on an ideal radio:
+
+* ``n0_0`` / ``n0_1`` (clients): each runs a full client stack — a
+  :class:`~repro.replication.services.ReplicatedLedger` over the ledger
+  group, sharded shared objects, and a sharded tuple space.
+* ``n1_0`` / ``n1_1`` / ``n1_2`` (replicas): every service is a 3-way
+  replica group over these nodes; ``n1_2`` (the highest id, the member
+  Bully election would pick) starts as primary of every group.
+
+Mid-horizon the scenario crashes ``n1_2`` — the primary of *every*
+group — and recovers it several seconds later. The workload keeps
+issuing operations throughout, so client retries cross the failover.
+
+Every operation is recorded as an interval and fed to the Wing–Gong
+checker per independent object (the ledger, each shared-object key,
+each tuple kind). On top of linearizability the run is judged by
+replication-specific oracles:
+
+* **failover bound** — some surviving replica takes over the ledger
+  group within ``FAILOVER_BOUND_S`` of the crash;
+* **acked-is-applied** — every acknowledged transfer txid is in every
+  ledger replica's applied set after the run;
+* **conservation** — account totals are preserved on every replica;
+* **convergence** — after the recovered node catches up, every group's
+  replicas agree on applied index and machine state.
+
+Everything is a pure function of ``(seed, tie_seed)``: the scorecard is
+byte-identical across reruns.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.netsim import topology
+from repro.netsim.failures import FailureInjector
+from repro.netsim.medium import IDEAL_RADIO
+from repro.obs.metrics import get_registry
+from repro.replication.client import GroupClient, ShardedClient
+from repro.replication.replica import (
+    ReplicationParams,
+    deploy_group,
+    deploy_sharded,
+)
+from repro.replication.services import (
+    KVMachine,
+    LedgerMachine,
+    ReplicatedLedger,
+    ReplicatedSharedObjects,
+    ReplicatedTupleSpace,
+    TupleSpaceMachine,
+)
+from repro.simtest.linearizability import (
+    CheckAborted,
+    LedgerModel,
+    Op,
+    RegisterModel,
+    TupleSpaceModel,
+    check_linearizable,
+)
+from repro.simtest.oracles import Divergence
+from repro.simtest.world import RunResult, _OpRecord
+from repro.transport.base import Address
+from repro.transport.simnet import SimFabric
+from repro.util.rng import split_rng
+
+CLIENTS = ("n0_0", "n0_1")
+REPLICAS = ("n1_0", "n1_1", "n1_2")
+PRIMARY = "n1_2"
+
+_LED_PORT = "led"
+_SO_PORT = "so"
+_TS_PORT = "ts"
+_NUM_SHARDS = 2
+
+ACCOUNTS = ("acct0", "acct1", "acct2", "acct3")
+INITIAL_BALANCE = 1000
+
+SO_KEYS = ("cfg", "route", "limit", "peer")
+TS_KINDS = ("job", "evt")
+
+HORIZON_S = 16.0
+
+#: Detection (~0.9 s) + a couple of election rounds, with headroom.
+FAILOVER_BOUND_S = 5.0
+
+#: Group timers for the scenario: detection ~0.9 s, election ~0.6 s.
+REPL_PARAMS = ReplicationParams(
+    hb_interval_s=0.3,
+    hb_timeout_multiplier=3.0,
+    elect_timeout_s=0.3,
+    sync_timeout_s=0.3,
+    coord_timeout_s=0.8,
+    beacon_interval_s=0.3,
+    write_timeout_s=3.0,
+)
+
+_WEIGHTS = [
+    ("transfer", 10),
+    ("balance", 6),
+    ("so_write", 10),
+    ("so_read", 10),
+    ("ts_out", 6),
+    ("ts_inp", 4),
+    ("ts_rdp", 4),
+    ("ts_in", 2),
+]
+
+
+def _pick(rng, weighted) -> str:
+    total = sum(w for _op, w in weighted)
+    roll = rng.uniform(0.0, total)
+    for op, weight in weighted:
+        roll -= weight
+        if roll <= 0.0:
+            return op
+    return weighted[-1][0]
+
+
+class _ClientStack:
+    """One client node's facades over every replicated service."""
+
+    def __init__(self, fabric: SimFabric, node_id: str, so_map, ts_map):
+        self.ledger_client = GroupClient(
+            fabric.endpoint(node_id, f"{_LED_PORT}.c"),
+            [Address(r, _LED_PORT) for r in REPLICAS],
+            request_timeout_s=0.5,
+            max_attempts=16,
+        )
+        self.so_client = ShardedClient(
+            lambda shard: fabric.endpoint(node_id, f"{_SO_PORT}.c{shard}"),
+            so_map, request_timeout_s=0.5, max_attempts=16,
+        )
+        self.ts_client = ShardedClient(
+            lambda shard: fabric.endpoint(node_id, f"{_TS_PORT}.c{shard}"),
+            ts_map, request_timeout_s=0.5, max_attempts=16,
+        )
+        self.ledger = ReplicatedLedger(self.ledger_client)
+        self.objects = ReplicatedSharedObjects(self.so_client)
+        self.space = ReplicatedTupleSpace(self.ts_client)
+
+    def close(self) -> None:
+        self.ledger_client.close()
+        self.so_client.close()
+        self.ts_client.close()
+
+
+class ReplicatedWorld:
+    """Builds the replicated deployment and runs one primary-kill run."""
+
+    def __init__(self, seed: int, tie_seed: int = 0,
+                 horizon_s: float = HORIZON_S, n_ops: int = 60,
+                 crash_primary: bool = True):
+        self.seed = seed
+        self.tie_seed = tie_seed
+        self.horizon_s = horizon_s
+        get_registry().reset()
+
+        self.network = topology.grid(
+            2, 3, spacing=60.0, radio_profile=IDEAL_RADIO, seed=seed
+        )
+        self.sim = self.network.sim
+        self.sim.set_tie_breaker(split_rng(tie_seed, "simtest.ties").random)
+        self.fabric = SimFabric(self.network)
+        self.injector = FailureInjector(self.network, seed=seed)
+
+        self.divergences: List[Divergence] = []
+        self._history: List[_OpRecord] = []
+        self.stats: Dict[str, int] = defaultdict(int)
+        self.acked_txids: set = set()
+
+        factory = self.fabric.endpoint
+        self.ledger_group = deploy_group(
+            factory, REPLICAS,
+            lambda: LedgerMachine({a: INITIAL_BALANCE for a in ACCOUNTS}),
+            port=_LED_PORT, params=REPL_PARAMS, group="led",
+        )
+        self.so_map, self.so_groups = deploy_sharded(
+            factory, REPLICAS, _NUM_SHARDS, KVMachine,
+            port=_SO_PORT, params=REPL_PARAMS, group_prefix="so",
+        )
+        self.ts_map, self.ts_groups = deploy_sharded(
+            factory, REPLICAS, _NUM_SHARDS, TupleSpaceMachine,
+            port=_TS_PORT, params=REPL_PARAMS, group_prefix="ts",
+        )
+        self.clients = tuple(
+            _ClientStack(self.fabric, node_id, self.so_map, self.ts_map)
+            for node_id in CLIENTS
+        )
+
+        # --- the fault: kill every group's primary mid-horizon -----------
+        rng = split_rng(seed, "simtest.replicated")
+        self.crash_at = 0.0
+        self.recover_at = 0.0
+        self.first_new_primary_at: Optional[float] = None
+        if crash_primary:
+            self.crash_at = round(5.5 + rng.uniform(0.0, 1.0), 3)
+            downtime = round(5.0 + rng.uniform(0.0, 1.5), 3)
+            self.recover_at = round(self.crash_at + downtime, 3)
+            self.injector.crash_and_recover(PRIMARY, self.crash_at, downtime)
+            probe_at = self.crash_at + 0.25
+            while probe_at < self.crash_at + FAILOVER_BOUND_S + 2.0:
+                self.sim.schedule_at(probe_at, self._probe_failover)
+                probe_at += 0.25
+
+        # --- the workload ------------------------------------------------
+        for i in range(n_ops):
+            at = round(rng.uniform(0.5, horizon_s - 1.0), 3)
+            op = _pick(rng, _WEIGHTS)
+            client = rng.choice((0, 1))
+            if op == "transfer":
+                src, dst = rng.sample(ACCOUNTS, 2)
+                args: Tuple[Any, ...] = (
+                    f"rt{i}", src, dst, rng.randint(1, 20), client
+                )
+            elif op == "balance":
+                args = (rng.choice(ACCOUNTS), client)
+            elif op == "so_write":
+                args = (rng.choice(SO_KEYS), rng.randint(0, 999), client)
+            elif op == "so_read":
+                args = (rng.choice(SO_KEYS), client)
+            elif op == "ts_out":
+                args = (rng.choice(TS_KINDS), rng.randint(0, 99), client)
+            else:  # ts_inp / ts_rdp / ts_in
+                args = (rng.choice(TS_KINDS), client)
+            self.sim.schedule_at(at, self._exec, op, args)
+
+        self.end_s = max(horizon_s, self.recover_at) + 4.0
+
+    # ------------------------------------------------------------- recording
+
+    def _record(self, obj: Tuple[str, ...], client: int, op: str,
+                args: Tuple[Any, ...], promise: Any) -> _OpRecord:
+        record = _OpRecord(obj, f"c{client}", op, args, self.sim.now())
+        self._history.append(record)
+
+        def settle(settled: Any) -> None:
+            if settled.fulfilled:
+                record.response = self.sim.now()
+                record.result = settled.result()
+
+        promise.on_settle(settle)
+        return record
+
+    # -------------------------------------------------------------- workload
+
+    def _exec(self, op: str, args: Tuple[Any, ...]) -> None:
+        self.stats[f"ops_{op}"] += 1
+        if op == "transfer":
+            txid, src, dst, amount, client = args
+            promise = self.clients[client].ledger.transfer(
+                txid, src, dst, amount
+            )
+            self._record(("ledger",), client, "transfer",
+                         (txid, src, dst, amount), promise)
+
+            def note_acked(settled: Any, txid: str = txid) -> None:
+                if settled.fulfilled and settled.result() is True:
+                    self.acked_txids.add(txid)
+
+            promise.on_settle(note_acked)
+        elif op == "balance":
+            acct, client = args
+            promise = self.clients[client].ledger.balance(acct)
+            self._record(("ledger",), client, "balance", (acct,), promise)
+        elif op == "so_write":
+            key, value, client = args
+            promise = self.clients[client].objects.write(key, value)
+            self._record(("so", key), client, "write", (value,), promise)
+        elif op == "so_read":
+            key, client = args
+            promise = self.clients[client].objects.read(key)
+            self._record(("so", key), client, "read", (), promise)
+        elif op == "ts_out":
+            kind, value, client = args
+            promise = self.clients[client].space.out(kind, value,
+                                                     confirm=True)
+            self._record(("ts", kind), client, "out", (kind, value), promise)
+        elif op == "ts_inp":
+            kind, client = args
+            promise = self.clients[client].space.inp(kind, None)
+            self._record(("ts", kind), client, "inp", (), promise)
+        elif op == "ts_rdp":
+            kind, client = args
+            promise = self.clients[client].space.rdp(kind, None)
+            self._record(("ts", kind), client, "rdp", (), promise)
+        elif op == "ts_in":
+            kind, client = args
+            promise = self.clients[client].space.in_(kind, None)
+            self._record(("ts", kind), client, "in", (), promise)
+        else:
+            raise ValueError(f"unknown workload op {op!r}")
+
+    # --------------------------------------------------------------- oracles
+
+    def _probe_failover(self) -> None:
+        if self.first_new_primary_at is not None:
+            return
+        for node, replica in self.ledger_group.items():
+            if node != PRIMARY and replica.role == "primary":
+                self.first_new_primary_at = self.sim.now()
+                self.new_primary = node
+                return
+
+    def _all_groups(self):
+        yield "led", self.ledger_group
+        for shard, members in sorted(self.so_groups.items()):
+            yield f"so.s{shard}", members
+        for shard, members in sorted(self.ts_groups.items()):
+            yield f"ts.s{shard}", members
+
+    def _check_replication(self, now: float) -> None:
+        if self.crash_at and self.first_new_primary_at is None:
+            self.divergences.append(Divergence(
+                "failover", "no-new-primary", now,
+                f"no survivor took over the ledger group within "
+                f"{FAILOVER_BOUND_S}s of the crash at t={self.crash_at}",
+            ))
+        for label, members in self._all_groups():
+            primaries = [n for n, r in members.items() if r.role == "primary"]
+            if len(primaries) != 1:
+                self.divergences.append(Divergence(
+                    "failover", "primary-count", now,
+                    f"group {label}: primaries={primaries}",
+                ))
+            head = members[REPLICAS[0]]
+            for node in REPLICAS[1:]:
+                replica = members[node]
+                if (replica.applied_index != head.applied_index
+                        or replica.machine.snapshot() != head.machine.snapshot()):
+                    self.divergences.append(Divergence(
+                        "convergence", "replica-diverged", now,
+                        f"group {label}: {node} at index "
+                        f"{replica.applied_index} != {REPLICAS[0]} at "
+                        f"{head.applied_index}",
+                    ))
+        for node, replica in self.ledger_group.items():
+            machine = replica.machine
+            total = sum(machine.balances.values())
+            if total != INITIAL_BALANCE * len(ACCOUNTS):
+                self.divergences.append(Divergence(
+                    "ledger", "conservation", now,
+                    f"{node}: total={total}",
+                ))
+            missing = self.acked_txids - machine.applied_txids
+            if missing:
+                self.divergences.append(Divergence(
+                    "ledger", "acked-not-applied", now,
+                    f"{node}: {sorted(missing)}",
+                ))
+
+    def _check_linearizability(self, now: float) -> None:
+        groups: Dict[Tuple[str, ...], List[Op]] = defaultdict(list)
+        for record in self._history:
+            groups[record.obj].append(Op(
+                client=record.client, op=record.op, args=record.args,
+                invoke=record.invoke, response=record.response,
+                result=record.result,
+            ))
+        for obj, ops in sorted(groups.items()):
+            if obj[0] == "so":
+                model: Any = RegisterModel()
+            elif obj[0] == "ts":
+                model = TupleSpaceModel()
+            else:
+                model = LedgerModel(
+                    {a: INITIAL_BALANCE for a in ACCOUNTS}
+                )
+            self.stats["lin_objects"] += 1
+            try:
+                verdict = check_linearizable(ops, model)
+            except CheckAborted:
+                self.stats["lin_aborted"] += 1
+                continue
+            if verdict is not None:
+                self.divergences.append(Divergence(
+                    f"linearizability-{obj[0]}", "non-linearizable", now,
+                    f"object {obj}: {verdict}",
+                ))
+
+    # ---------------------------------------------------------------- runner
+
+    def run(self) -> RunResult:
+        self.sim.run_until(self.end_s)
+        now = self.sim.now()
+        self._check_replication(now)
+        self._check_linearizability(now)
+        registry = get_registry()
+        self.stats["events"] = self.sim.events_processed
+        self.stats["transfers_acked"] = len(self.acked_txids)
+        self.stats["election_rounds"] = int(
+            registry.counter_total("repl.election.rounds")
+        )
+        self.stats["log_catchups"] = int(
+            registry.counter_total("repl.log.catchups")
+        )
+        for client in self.clients:
+            client.close()
+        for _label, members in self._all_groups():
+            for replica in members.values():
+                replica.close()
+        divergences = sorted(
+            self.divergences, key=lambda d: (d.at, d.oracle, d.kind)
+        )
+        return RunResult(divergences, dict(self.stats))
+
+    # ------------------------------------------------------------- scorecard
+
+    def scorecard(self, result: RunResult) -> Dict[str, Any]:
+        primary_machine = self.ledger_group[
+            getattr(self, "new_primary", PRIMARY)
+        ].machine
+        latency = (
+            None if self.first_new_primary_at is None
+            else round(self.first_new_primary_at - self.crash_at, 6)
+        )
+        return {
+            "seed": self.seed,
+            "tie_seed": self.tie_seed,
+            "ok": result.ok,
+            "divergences": [d.to_dict() for d in result.divergences],
+            "failover": {
+                "crash_at": self.crash_at,
+                "recover_at": self.recover_at,
+                "latency_s": latency,
+                "new_primary": getattr(self, "new_primary", None),
+                "bound_s": FAILOVER_BOUND_S,
+                "terms": {
+                    node: replica.term
+                    for node, replica in sorted(self.ledger_group.items())
+                },
+            },
+            "ledger": {
+                "balances": dict(sorted(primary_machine.balances.items())),
+                "applied": len(primary_machine.applied_txids),
+                "acked": len(self.acked_txids),
+            },
+            "stats": dict(sorted(result.stats.items())),
+        }
+
+
+def run_failover(seed: int, tie_seed: int = 0,
+                 **kwargs: Any) -> Dict[str, Any]:
+    """One primary-kill run; returns the scorecard (pure in its inputs)."""
+    world = ReplicatedWorld(seed, tie_seed, **kwargs)
+    return world.scorecard(world.run())
+
+
+def scorecard_bytes(scorecard: Dict[str, Any]) -> bytes:
+    """Canonical serialized form: byte-identical for identical runs."""
+    return json.dumps(scorecard, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")

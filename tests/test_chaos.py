@@ -83,11 +83,38 @@ class TestInvariants:
         assert scorecard["medium"]["drops_partitioned"] > 0
         assert scorecard["faults"]["partitions"] >= 1
 
+    def test_failover_campaign_reelects_and_keeps_acked_transfers(self):
+        scorecard = run_campaign("failover", 0, **SHORT)
+        assert scorecard["ok"], scorecard["violations"]
+        repl = scorecard["replication"]
+        # The crashed initial primary (n2_1) must not hold office at the
+        # end; a survivor took over at a higher term, and the recovered
+        # member was fenced into adopting it.
+        assert repl["primary"] == "n1_1"
+        assert all(term >= 2 for term in repl["terms"].values())
+        assert repl["election_rounds"] >= 1
+        assert repl["conserved"] is True
+        transfers = repl["transfers"]
+        assert transfers["acked"] > 0
+        assert transfers["applied"] >= transfers["acked"]
+        applied = set(repl["applied_index"].values())
+        assert len(applied) == 1  # every member converged
+
+    def test_non_failover_mixes_have_no_replication_section(self):
+        scorecard = run_campaign("churn", 0, **SHORT)
+        assert scorecard["replication"] is None
+        assert scorecard["invariants"]["replication_failover"] is True
+
 
 class TestDeterminism:
     def test_same_seed_same_mix_byte_identical_scorecard(self):
         first = scorecard_bytes(run_campaign("corrupt", 3, **SHORT))
         second = scorecard_bytes(run_campaign("corrupt", 3, **SHORT))
+        assert first == second
+
+    def test_failover_scorecard_is_byte_identical(self):
+        first = scorecard_bytes(run_campaign("failover", 2, **SHORT))
+        second = scorecard_bytes(run_campaign("failover", 2, **SHORT))
         assert first == second
 
     def test_different_seeds_differ(self):

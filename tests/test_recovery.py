@@ -260,6 +260,40 @@ class TestHeartbeat:
         watcher.watch("b")
         assert watcher.alive_peers() == {"a", "b"}
 
+    def test_subscription_seam_fires_exactly_once_per_transition(self):
+        """A flapping peer produces alternating suspect/alive callbacks —
+        never a storm of duplicate suspects while it stays down."""
+        fabric = InMemoryFabric(latency_s=0.01)
+        watcher = HeartbeatDetector(fabric.endpoint("w", "hb"), interval_s=0.5)
+        watcher.watch("peer")
+        suspects, recoveries = [], []
+        suspect_sub = watcher.on_suspect(suspects.append)
+        watcher.on_recover(recoveries.append)
+
+        def beat(seq):
+            watcher._on_message(
+                Address("peer", "hb"),
+                watcher.codec.encode({"op": "hb", "from": "peer", "seq": seq}),
+            )
+
+        # Flap three times: silence past the timeout, then one heartbeat.
+        seq = 0
+        for _ in range(3):
+            fabric.sim.run_until(fabric.sim.now() + 10.0)  # many check ticks
+            seq += 1
+            beat(seq)
+        fabric.sim.run_until(fabric.sim.now() + 10.0)
+        assert suspects == ["peer"] * 4  # one per down-transition, no storms
+        assert recoveries == ["peer"] * 3
+        # A cancelled subscription detaches cleanly.
+        suspect_sub.cancel()
+        seq += 1
+        beat(seq)
+        fabric.sim.run_until(fabric.sim.now() + 10.0)
+        assert len(suspects) == 4
+        assert len(recoveries) == 4
+        watcher.stop()
+
 
 class TestReplication:
     def setup_group(self):

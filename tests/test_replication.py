@@ -1,0 +1,196 @@
+"""Tests for the replication core: log, quorum commit, catch-up, reads."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DeliveryError
+from repro.obs.metrics import get_registry
+from repro.replication.log import LogEntry, OpLog
+from repro.replication.replica import ReplicationParams
+from repro.replication.shards import ShardMap
+from repro.transport.base import Address
+
+from tests.replication_helpers import FAST, GroupHarness
+
+
+class TestOpLog:
+    def test_append_is_monotonic_and_one_based(self):
+        log = OpLog()
+        first = log.append(1, "a", "put", ("k", 1))
+        second = log.append(1, "b", "put", ("k", 2))
+        assert (first.index, second.index) == (1, 2)
+        assert log.last_index == 2
+        assert log.entry(1) == first
+
+    def test_term_at_boundaries(self):
+        log = OpLog()
+        log.append(3, "a", "put", ())
+        assert log.term_at(0) == 0
+        assert log.term_at(1) == 3
+        assert log.term_at(2) is None
+
+    def test_truncate_refuses_committed_prefix(self):
+        log = OpLog()
+        log.append(1, "a", "put", ())
+        log.commit_index = 1
+        with pytest.raises(ConfigurationError):
+            log.truncate_from(1)
+
+    def test_compaction_retains_tail_and_snapshot_term(self):
+        log = OpLog()
+        for i in range(5):
+            log.append(2, f"r{i}", "put", (i,))
+        log.commit_index = 3
+        log.compact_to(3)
+        assert log.snapshot_index == 3
+        assert log.snapshot_term == 2
+        assert log.first_index == 4
+        assert log.entry(3) is None
+        assert log.entry(4) is not None
+        assert log.term_at(3) == 2
+
+    def test_entry_wire_round_trip(self):
+        entry = LogEntry(7, 2, "rid-1", "put", ("k", [1, 2]))
+        assert LogEntry.from_wire(entry.to_wire()) == entry
+
+
+class TestShardMap:
+    def test_stable_assignment(self):
+        shard_map = ShardMap.build(["a", "b"], 4, "kv")
+        assert shard_map.num_shards == 4
+        assert shard_map.shard_of("user:7") == shard_map.shard_of("user:7")
+        assert shard_map.group_for("x")[0].port.startswith("kv.s")
+
+    def test_keys_spread_across_shards(self):
+        shard_map = ShardMap.build(["a"], 4, "kv")
+        shards = {shard_map.shard_of(f"key-{i}") for i in range(64)}
+        assert len(shards) == 4
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardMap(())
+
+
+class TestQuorumCommit:
+    def test_committed_write_applies_on_every_replica(self):
+        h = GroupHarness()
+        promise = h.client.command("write", "k", "v1")
+        h.run_for(1.0)
+        assert promise.result() == 1  # first version
+        assert h.converged()
+        assert all(r.applied_index >= 1 for r in h.replicas.values())
+        h.close()
+
+    def test_rid_dedup_applies_exactly_once(self):
+        h = GroupHarness()
+        first = h.client.command("write", "k", "v", rid="dup-1")
+        h.run_for(1.0)
+        second = h.client.command("write", "k", "v", rid="dup-1")
+        h.run_for(1.0)
+        assert first.result() == 1
+        assert second.result() == 1  # cached, not re-applied
+        primary = h.replicas[h.primaries()[0]]
+        assert primary.machine.read("version", ("k",)) == 1
+        h.close()
+
+    def test_writes_at_backup_redirect_to_primary(self):
+        h = GroupHarness()
+        h.client._leader = 0  # point the hint at a backup (r0)
+        promise = h.client.command("write", "k", "v")
+        h.run_for(1.0)
+        assert promise.result() == 1
+        assert h.client.redirects >= 1
+        h.close()
+
+    def test_write_without_quorum_is_rejected(self):
+        h = GroupHarness(max_attempts=3)
+        # Isolate the primary (and the client with it): after the detector
+        # timeout the primary no longer sees a majority.
+        h.fabric.isolate("r2", "cli")
+        h.run_for(1.0)  # > hb timeout (0.6s)
+        promise = h.client.command("write", "k", "v")
+        h.run_for(6.0)
+        assert promise.rejected
+        assert isinstance(promise.error(), DeliveryError)
+        assert h.replicas["r2"].machine.read("version", ("k",)) == 0
+        h.close()
+
+
+class TestCatchUp:
+    def test_lagging_backup_converges_after_heal(self):
+        h = GroupHarness()
+        h.fabric.isolate("r0")
+        promises = [
+            h.client.command("write", f"k{i}", i) for i in range(5)
+        ]
+        h.run_for(2.0)
+        assert all(p.fulfilled for p in promises)
+        assert h.replicas["r0"].applied_index == 0
+        h.fabric.heal()
+        h.run_for(2.0)
+        assert h.converged()
+        assert h.replicas["r0"].applied_index >= 5
+        h.close()
+
+    def test_far_behind_backup_gets_state_transfer(self):
+        params = ReplicationParams(
+            **{**FAST.__dict__, "compact_every": 4}
+        )
+        h = GroupHarness(params=params)
+        h.fabric.isolate("r0")
+        for i in range(10):
+            h.client.command("write", f"k{i}", i)
+        h.run_for(3.0)
+        primary = h.replicas["r2"]
+        assert primary.log.snapshot_index > 0  # compaction actually ran
+        h.fabric.heal()
+        h.run_for(3.0)
+        assert h.converged()
+        assert h.replicas["r0"].log.snapshot_index > 0
+        assert get_registry().counter_total("repl.log.catchups") >= 1
+        h.close()
+
+
+class TestReadModes:
+    def test_primary_reads_are_current(self):
+        h = GroupHarness()
+        h.client.command("write", "k", "v1")
+        h.run_for(1.0)
+        read = h.client.read("read", "k", mode="primary")
+        h.run_for(1.0)
+        assert read.result() == "v1"
+        assert get_registry().counter_total("repl.reads.primary") >= 1
+        h.close()
+
+    def test_any_reads_are_served_by_backups(self):
+        h = GroupHarness()
+        h.client.command("write", "k", "v1")
+        h.run_for(1.0)
+        reads = [h.client.read("read", "k", mode="any") for _ in range(4)]
+        h.run_for(1.0)
+        assert all(r.result() == "v1" for r in reads)
+        assert get_registry().counter_total("repl.reads.backup") >= 4
+        h.close()
+
+    def test_ryw_read_bounces_off_stale_backup_to_primary(self):
+        h = GroupHarness()
+        h.client.command("write", "k", "v1")
+        h.run_for(1.0)
+        # Force staleness: pretend we saw a far newer write than any backup
+        # has applied. The backup answers ``stale``; the retry goes to the
+        # primary, which always serves the current value.
+        h.client.seen_index = 100
+        read = h.client.read("read", "k", mode="ryw")
+        h.run_for(1.0)
+        assert read.result() == "v1"
+        assert h.client.stale_retries >= 1
+        assert get_registry().counter_total("repl.reads.stale_rejected") >= 1
+        h.close()
+
+    def test_metrics_counters_exist_for_log_traffic(self):
+        h = GroupHarness()
+        h.client.command("write", "k", "v")
+        h.run_for(1.0)
+        registry = get_registry()
+        assert registry.counter_total("repl.log.appends") >= 1
+        assert registry.counter_total("repl.log.commits") >= 1
+        h.close()
