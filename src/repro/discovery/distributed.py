@@ -23,6 +23,7 @@ from repro.discovery.description import ServiceDescription
 from repro.discovery.matching import Matcher, Query
 from repro.errors import ConfigurationError, MiddlewareError
 from repro.interop.codec import Codec, get_codec, try_decode_dict
+from repro.interop.frames import WireFrame
 from repro.transport.base import Address
 from repro.transport.simnet import SimTransport
 from repro.util.events import EventEmitter
@@ -169,7 +170,7 @@ class DistributedDiscovery:
 
     def _broadcast(self, op: str, message: Dict[str, Any]) -> None:
         self.messages_sent[op] += 1
-        self.transport.broadcast(self.codec.encode(message))
+        self.transport.broadcast(WireFrame(message, self.codec))
 
     def _flood_adverts(self, descriptions: List[ServiceDescription]) -> None:
         if not descriptions:
@@ -269,13 +270,14 @@ class DistributedDiscovery:
             self.messages_sent["reply"] += 1
             self.transport.send(
                 source,
-                self.codec.encode(
+                WireFrame(
                     {
                         "op": "reply",
                         "qid": qid,
                         "origin": message["origin"],
                         "results": [m.description.to_dict() for m in matches],
-                    }
+                    },
+                    self.codec,
                 ),
             )
         ttl = message["ttl"] - 1
@@ -296,7 +298,7 @@ class DistributedDiscovery:
         if hop is not None:
             previous, _expires = hop
             self.messages_sent["reply"] += 1
-            self.transport.send(previous, self.codec.encode(message))
+            self.transport.send(previous, WireFrame(message, self.codec))
 
     # --------------------------------------------------------------- plumbing
 

@@ -24,6 +24,7 @@ from repro.discovery.description import ServiceDescription
 from repro.discovery.matching import Matcher, Query
 from repro.errors import DiscoveryError, MiddlewareError
 from repro.interop.codec import Codec, get_codec, try_decode_dict
+from repro.interop.frames import WireFrame
 from repro.obs.tracing import NOOP_SPAN, TRACER
 from repro.transport.base import Address, Transport
 from repro.util.events import EventEmitter
@@ -121,7 +122,7 @@ class RegistryServer:
             self.malformed_frames += 1
 
     def _reply(self, destination: Address, message: Dict[str, Any]) -> None:
-        self.transport.send(destination, self.codec.encode(message))
+        self.transport.send(destination, WireFrame(message, self.codec))
 
     def _grant_lease(self, requested: Any) -> float:
         lease = float(requested) if requested else DEFAULT_LEASE_S
@@ -136,10 +137,10 @@ class RegistryServer:
         """
         if not self.peers or message.get("sync"):
             return
-        copy = {**message, "sync": True, "rid": None}
+        copy = WireFrame({**message, "sync": True, "rid": None}, self.codec)
         for peer in self.peers:
             self.replications_sent += 1
-            self.transport.send(peer, self.codec.encode(copy))
+            self.transport.send(peer, copy)
 
     def _handle_register(self, source: Address, rid: Any, message: Dict[str, Any]) -> None:
         description = ServiceDescription.from_dict(message["desc"])
@@ -210,10 +211,11 @@ class RegistryClient:
         self.request_timeout_s = request_timeout_s
         self.retries = retries
         self._rids = IdGenerator(f"reg:{transport.local_address}")
-        # rid -> (promise, encoded request, retries left). Requests are
+        # rid -> (promise, request frame, retries left). Requests are
         # retransmitted on timeout because the transport below may be lossy;
-        # server operations are idempotent, so duplicates are harmless.
-        self._pending: Dict[str, Tuple[Promise, bytes, int]] = {}
+        # server operations are idempotent, so duplicates are harmless. The
+        # frame is lazy: it encodes at most once across all retransmissions.
+        self._pending: Dict[str, Tuple[Promise, WireFrame, int]] = {}
         self.timeouts = 0
         self.retransmissions = 0
         self.malformed_frames = 0
@@ -226,7 +228,7 @@ class RegistryClient:
         rid = self._rids.next()
         message["rid"] = rid
         promise: Promise = Promise()
-        encoded = self.codec.encode(message)
+        encoded = WireFrame(message, self.codec)
         self._pending[rid] = (promise, encoded, self.retries)
         self.transport.send(self.registry_address, encoded)
         self.transport.scheduler.schedule(self.request_timeout_s, self._timeout, rid)

@@ -17,6 +17,7 @@ tradeoff:
 """
 
 from repro.interop.codec import BinaryCodec, Codec, JsonCodec, SmlCodec, get_codec
+from repro.interop.frames import PrefixedFrame, TailIntPacker, WireFrame
 from repro.interop.schema import FieldSpec, InterfaceSchema, MessageSchema, OperationSpec
 from repro.interop.sml import SmlElement, parse, serialize
 
@@ -26,6 +27,9 @@ __all__ = [
     "JsonCodec",
     "SmlCodec",
     "get_codec",
+    "PrefixedFrame",
+    "TailIntPacker",
+    "WireFrame",
     "FieldSpec",
     "InterfaceSchema",
     "MessageSchema",

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from repro.interop.codec import Codec, get_codec
+from repro.interop.frames import decode_payload
 from repro.transactions.pubsub import PubSubClient
 from repro.transactions.rpc import RpcEndpoint
 from repro.transactions.tuplespace import TupleSpaceClient
@@ -68,7 +69,7 @@ class CodecGateway:
         if destination is None:
             self.dropped += 1
             return
-        value = self.codec_a.decode(payload)
+        value = decode_payload(self.codec_a, payload)
         self.forwarded_a_to_b += 1
         self.side_b.send(destination, self.codec_b.encode(value))
 
@@ -77,7 +78,7 @@ class CodecGateway:
         if destination is None:
             self.dropped += 1
             return
-        value = self.codec_b.decode(payload)
+        value = decode_payload(self.codec_b, payload)
         self.forwarded_b_to_a += 1
         self.side_a.send(destination, self.codec_a.encode(value))
 

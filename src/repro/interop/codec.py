@@ -72,11 +72,48 @@ def _decode_varint(payload: bytes, offset: int) -> tuple[int, int]:
 
 
 def _zigzag(value: int) -> int:
-    return (value << 1) ^ (value >> 63) if -(2**63) <= value < 2**63 else -1
+    """Map a signed 64-bit int onto the unsigned varint domain.
+
+    Contract: ``value`` must satisfy ``-(2**63) <= value < 2**63``; anything
+    wider belongs to the BIGINT encoding and is rejected here rather than
+    silently mangled.
+    """
+    if not -(2**63) <= value < 2**63:
+        raise CodecError(f"zigzag int out of 64-bit range: {value}")
+    return (value << 1) ^ (value >> 63)
 
 
 def _unzigzag(value: int) -> int:
     return (value >> 1) ^ -(value & 1)
+
+
+def _varint_size(value: int) -> int:
+    """Encoded byte count of an unsigned LEB128 varint (without building it)."""
+    return max(1, (value.bit_length() + 6) // 7)
+
+
+def _utf8_size(text: str) -> int:
+    # ASCII is the overwhelmingly common case for frame keys and addresses;
+    # ``isascii`` is a C-speed scan that avoids building the encoded copy.
+    return len(text) if text.isascii() else len(text.encode("utf-8"))
+
+
+#: Lazy wire-frame types (registered by :mod:`repro.interop.frames` to avoid
+#: an import cycle). The binary encoder treats them as bytes values,
+#: materializing their cached encoding on demand.
+_FRAME_TYPES: tuple = ()
+
+#: Hook installed by :mod:`repro.interop.frames`: extracts the message dict
+#: from a frame object without decoding (see :func:`try_decode_dict`).
+_FRAME_DICT_EXTRACTOR = None
+
+
+def register_frame_types(types: tuple, extractor) -> None:
+    """Teach the codec layer about lazy frame types (called once by
+    :mod:`repro.interop.frames` at import time)."""
+    global _FRAME_TYPES, _FRAME_DICT_EXTRACTOR
+    _FRAME_TYPES = types
+    _FRAME_DICT_EXTRACTOR = extractor
 
 
 @runtime_checkable
@@ -131,6 +168,12 @@ class BinaryCodec:
             pieces.append(_T_STR + _encode_varint(len(encoded)) + encoded)
         elif isinstance(value, (bytes, bytearray)):
             pieces.append(_T_BYTES + _encode_varint(len(value)) + bytes(value))
+        elif _FRAME_TYPES and isinstance(value, _FRAME_TYPES):
+            # A nested lazy frame (e.g. an envelope's payload): materialize
+            # its cached bytes — identical to the eager path, where the
+            # upper layer would have handed us those bytes directly.
+            data = bytes(value)
+            pieces.append(_T_BYTES + _encode_varint(len(data)) + data)
         elif isinstance(value, (list, tuple)):
             pieces.append(_T_LIST + _encode_varint(len(value)))
             for item in value:
@@ -146,7 +189,57 @@ class BinaryCodec:
         else:
             raise CodecError(f"unsupported type {type(value).__name__}")
 
+    def encoded_size(self, value: Any) -> int:
+        """``len(self.encode(value))`` without building the bytes.
+
+        Exact by construction — the walk mirrors :meth:`_encode_into` branch
+        for branch (a property test pins the equality) — and cheap: no
+        buffer concatenation, no UTF-8 copies for ASCII strings, and nested
+        lazy frames contribute their cached ``encoded_length``. This is what
+        lets a :class:`~repro.interop.frames.WireFrame` report its wire size
+        (the simulator's serialization-delay input) without materializing.
+        """
+        try:
+            return self._size_of(value)
+        except CodecError:
+            raise
+        except Exception as exc:
+            raise CodecError(f"cannot binary-encode {type(value).__name__}: {exc}") from exc
+
+    def _size_of(self, value: Any) -> int:
+        if value is None or value is True or value is False:
+            return 1
+        if isinstance(value, int):
+            if -(2**63) <= value < 2**63:
+                return 1 + _varint_size(_zigzag(value))
+            length = len(str(value))
+            return 1 + _varint_size(length) + length
+        if isinstance(value, float):
+            return 1 + _F64.size
+        if isinstance(value, str):
+            length = _utf8_size(value)
+            return 1 + _varint_size(length) + length
+        if isinstance(value, (bytes, bytearray)):
+            return 1 + _varint_size(len(value)) + len(value)
+        if _FRAME_TYPES and isinstance(value, _FRAME_TYPES):
+            length = len(value)  # the frame's (possibly cached) encoded_length
+            return 1 + _varint_size(length) + length
+        if isinstance(value, (list, tuple)):
+            return (1 + _varint_size(len(value))
+                    + sum(self._size_of(item) for item in value))
+        if isinstance(value, dict):
+            total = 1 + _varint_size(len(value))
+            for key, item in value.items():
+                if not isinstance(key, str):
+                    raise CodecError(f"dict keys must be str, got {type(key).__name__}")
+                key_length = _utf8_size(key)
+                total += _varint_size(key_length) + key_length + self._size_of(item)
+            return total
+        raise CodecError(f"unsupported type {type(value).__name__}")
+
     def decode(self, payload: bytes) -> Any:
+        if _FRAME_TYPES and isinstance(payload, _FRAME_TYPES):
+            payload = bytes(payload)
         value, offset = self._decode_from(payload, 0)
         if offset != len(payload):
             raise CodecError(f"{len(payload) - offset} trailing bytes after value")
@@ -177,7 +270,18 @@ class BinaryCodec:
             if tag == _T_BYTES:
                 return raw, offset
             if tag == _T_BIGINT:
-                return int(raw.decode("ascii")), offset
+                # ``int()`` tolerates "+5", whitespace, and "5_0" — all
+                # non-canonical spellings our encoder never emits. Accept
+                # only digits that round-trip, so every value has exactly
+                # one wire form (decode(encode(x)) == x and vice versa).
+                text = raw.decode("ascii")
+                try:
+                    value = int(text)
+                except ValueError as exc:
+                    raise CodecError(f"bad bigint text {text!r}") from exc
+                if str(value) != text:
+                    raise CodecError(f"non-canonical bigint text {text!r}")
+                return value, offset
             return raw.decode("utf-8"), offset
         if tag == _T_LIST:
             count, offset = _decode_varint(payload, offset)
@@ -208,18 +312,94 @@ class BinaryCodec:
             raise CodecError("truncated payload")
 
 
+def _skip_value(payload: bytes, offset: int) -> int:
+    """Offset just past the encoded value starting at ``offset``.
+
+    A structural scan — no Python values are built — used by
+    :func:`splice_int_field` to locate a field inside cached frame bytes.
+    """
+    if offset >= len(payload):
+        raise CodecError("truncated payload")
+    tag = payload[offset:offset + 1]
+    offset += 1
+    if tag in (_T_NONE, _T_TRUE, _T_FALSE):
+        return offset
+    if tag == _T_INT:
+        _, offset = _decode_varint(payload, offset)
+        return offset
+    if tag == _T_FLOAT:
+        BinaryCodec._need(payload, offset, _F64.size)
+        return offset + _F64.size
+    if tag in (_T_STR, _T_BYTES, _T_BIGINT):
+        length, offset = _decode_varint(payload, offset)
+        BinaryCodec._need(payload, offset, length)
+        return offset + length
+    if tag == _T_LIST:
+        count, offset = _decode_varint(payload, offset)
+        for _ in range(count):
+            offset = _skip_value(payload, offset)
+        return offset
+    if tag == _T_DICT:
+        count, offset = _decode_varint(payload, offset)
+        for _ in range(count):
+            key_length, offset = _decode_varint(payload, offset)
+            BinaryCodec._need(payload, offset, key_length)
+            offset += key_length
+            offset = _skip_value(payload, offset)
+        return offset
+    raise CodecError(f"unknown type tag {tag!r} at offset {offset - 1}")
+
+
+def splice_int_field(encoded: bytes, key: str, value: int) -> bytes:
+    """Rewrite one top-level int field of an encoded binary dict in place.
+
+    Returns bytes identical to re-encoding ``{**decode(encoded), key: value}``
+    but touches only the field's varint: everything before and after —
+    including a nested multi-kilobyte payload — is sliced, not re-encoded.
+    This is the routing layer's per-hop TTL patch on the materialization
+    path.
+    """
+    if encoded[:1] != _T_DICT:
+        raise CodecError("splice target is not an encoded dict")
+    count, offset = _decode_varint(encoded, 1)
+    target = key.encode("utf-8")
+    for _ in range(count):
+        key_length, offset = _decode_varint(encoded, offset)
+        BinaryCodec._need(encoded, offset, key_length)
+        field = encoded[offset:offset + key_length]
+        offset += key_length
+        end = _skip_value(encoded, offset)
+        if field == target:
+            if encoded[offset:offset + 1] != _T_INT:
+                raise CodecError(f"field {key!r} is not an int")
+            return (encoded[:offset] + _T_INT
+                    + _encode_varint(_zigzag(value)) + encoded[end:])
+        offset = end
+    raise CodecError(f"field {key!r} not found in encoded dict")
+
+
 class JsonCodec:
-    """Stdlib JSON; rejects bytes values like real JSON middleware does."""
+    """Stdlib JSON; rejects bytes values like real JSON middleware does.
+
+    ``allow_nan=False`` keeps the output *standard* JSON: ``float("nan")``
+    and infinities raise :class:`CodecError` instead of silently emitting
+    the non-interoperable ``NaN``/``Infinity`` tokens that a compliant peer
+    would reject on receive.
+    """
 
     name = "json"
 
     def encode(self, value: Any) -> bytes:
         try:
-            return json.dumps(value, separators=(",", ":")).encode("utf-8")
+            return json.dumps(
+                value, separators=(",", ":"), allow_nan=False
+            ).encode("utf-8")
         except (TypeError, ValueError) as exc:
             raise CodecError(f"cannot JSON-encode: {exc}") from exc
 
     def decode(self, payload: bytes) -> Any:
+        if _FRAME_TYPES and isinstance(payload, _FRAME_TYPES):
+            payload = bytes(payload)
         try:
             return json.loads(payload.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -240,6 +420,8 @@ class SmlCodec:
         return sml.serialize(self._to_element(value)).encode("utf-8")
 
     def decode(self, payload: bytes) -> Any:
+        if _FRAME_TYPES and isinstance(payload, _FRAME_TYPES):
+            payload = bytes(payload)
         try:
             root = sml.parse(payload.decode("utf-8"))
         except UnicodeDecodeError as exc:
@@ -336,7 +518,18 @@ def try_decode_dict(codec: Codec, payload: bytes) -> "Dict[str, Any] | None":
     Receive paths use this so corrupted or truncated frames (chaos
     injection, buggy peers) are counted and dropped by the caller instead
     of unwinding the simulator event loop with a raise.
+
+    When the payload is a lazy :class:`~repro.interop.frames.WireFrame`
+    delivered by reference (same-process fast path), the message dict is
+    extracted with **zero decode** — provided the frame was built for the
+    same wire format; a codec mismatch falls back to materialize-then-decode
+    so cross-format behavior is identical to the eager path.
     """
+    if not isinstance(payload, (bytes, bytearray)):
+        extractor = _FRAME_DICT_EXTRACTOR
+        if extractor is not None:
+            return extractor(codec, payload)
+        return None
     try:
         value = codec.decode(payload)
     except (InteropError, ValueError, OverflowError):

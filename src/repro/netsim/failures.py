@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
+from repro.interop.frames import FRAME_TYPES
 from repro.netsim.network import Network
 from repro.netsim.packet import Packet
 from repro.util.rng import split_rng
@@ -77,8 +78,12 @@ class FrameCorruptor:
 
     def __call__(self, receiver_id: str, packet: Packet) -> Optional[Packet]:
         payload = packet.payload
+        # Frame types count as transport-shaped alongside raw bytes: chaos
+        # must tamper with lazy frames too (forcing their materialization
+        # below), and the isinstance gate must admit them BEFORE the rng
+        # draw so the draw sequence is identical to the eager-bytes era.
         if not (isinstance(payload, tuple) and len(payload) == 3
-                and isinstance(payload[2], (bytes, bytearray))):
+                and isinstance(payload[2], (bytes, bytearray) + FRAME_TYPES)):
             return packet
         if self.only_ports is not None and payload[1] not in self.only_ports:
             return packet

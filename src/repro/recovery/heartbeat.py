@@ -16,7 +16,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from repro.errors import ConfigurationError
-from repro.interop.codec import Codec, get_codec, try_decode_dict
+from repro.interop.codec import BinaryCodec, Codec, get_codec, try_decode_dict
+from repro.interop.frames import TailIntPacker, WireFrame
 from repro.transport.base import Address, Transport
 from repro.util.events import EventEmitter, Subscription
 
@@ -58,6 +59,13 @@ class HeartbeatDetector:
         self._seq = 0
         self.heartbeats_sent = 0
         self.malformed_frames = 0
+        # Beacons share a fixed schema where only the seq varies: compile
+        # the constant prefix once instead of re-encoding every period.
+        beacon_base = {"op": "hb", "from": transport.local_address.node}
+        self._beacon: Optional[TailIntPacker] = (
+            TailIntPacker(self.codec, beacon_base, "seq")
+            if isinstance(self.codec, BinaryCodec) else None
+        )
         transport.set_receiver(self._on_message)
         self._beat_timer = transport.scheduler.schedule(interval_s, self._beat)
         self._check_timer = transport.scheduler.schedule(interval_s, self._check)
@@ -113,9 +121,14 @@ class HeartbeatDetector:
         if self.transport.closed:
             return
         self._seq += 1
-        frame = self.codec.encode(
-            {"op": "hb", "from": self.transport.local_address.node, "seq": self._seq}
-        )
+        if self._beacon is not None:
+            frame = self._beacon.frame(self._seq)
+        else:
+            frame = WireFrame(
+                {"op": "hb", "from": self.transport.local_address.node,
+                 "seq": self._seq},
+                self.codec,
+            )
         for peer in self._targets:
             self.heartbeats_sent += 1
             self.transport.send(peer, frame)

@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.errors import DeliveryError
 from repro.interop.codec import Codec, get_codec
+from repro.interop.frames import WireFrame, decode_payload
 from repro.transport.base import Address, Transport
 from repro.util.ids import IdGenerator
 from repro.util.promise import Promise
@@ -47,7 +48,9 @@ class _ReplicaBase:
         self.applied_seq = 0
 
     def _send(self, destination: Address, message: Dict[str, Any]) -> None:
-        self.transport.send(destination, self.codec.encode(message))
+        if not isinstance(message, WireFrame):
+            message = WireFrame(message, self.codec)
+        self.transport.send(destination, message)
 
 
 class PrimaryReplica(_ReplicaBase):
@@ -68,7 +71,7 @@ class PrimaryReplica(_ReplicaBase):
         transport.set_receiver(self._on_message)
 
     def _on_message(self, source: Address, payload: bytes) -> None:
-        message = self.codec.decode(payload)
+        message = decode_payload(self.codec, payload)
         op = message.get("op")
         if op == "w":
             self._handle_write(source, message)
@@ -91,8 +94,11 @@ class PrimaryReplica(_ReplicaBase):
         self._pending[seq] = pending
         # Replication always happens; the quorum only controls when the
         # client is acknowledged (0 = immediately, asynchronous replication).
+        repl = WireFrame(
+            {"op": "repl", "seq": seq, "key": key, "value": value}, self.codec
+        )
         for backup in self.backups:
-            self._send(backup, {"op": "repl", "seq": seq, "key": key, "value": value})
+            self._send(backup, repl)
         if self.ack_quorum == 0 or not self.backups:
             self._acknowledge(seq)
 
@@ -126,7 +132,7 @@ class BackupReplica(_ReplicaBase):
         transport.set_receiver(self._on_message)
 
     def _on_message(self, source: Address, payload: bytes) -> None:
-        message = self.codec.decode(payload)
+        message = decode_payload(self.codec, payload)
         op = message.get("op")
         if op == "repl":
             self._buffer[message["seq"]] = (message["key"], message["value"])
@@ -195,7 +201,7 @@ class ReplicationClient:
 
     def _transmit(self, rid: str) -> None:
         promise, message, index = self._pending[rid]
-        self.transport.send(self.replicas[index], self.codec.encode(message))
+        self.transport.send(self.replicas[index], WireFrame(message, self.codec))
         self.transport.scheduler.schedule(self.request_timeout_s, self._timeout, rid, index)
 
     def _timeout(self, rid: str, index_at_send: int) -> None:
@@ -214,7 +220,7 @@ class ReplicationClient:
         promise.reject(DeliveryError(f"no replica answered request {rid}"))
 
     def _on_message(self, source: Address, payload: bytes) -> None:
-        message = self.codec.decode(payload)
+        message = decode_payload(self.codec, payload)
         entry = self._pending.pop(message.get("rid"), None)
         if entry is None:
             return

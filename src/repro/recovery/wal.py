@@ -87,7 +87,9 @@ class StableStorage:
     blobs: List[bytes] = field(default_factory=list)
 
     def append(self, blob: bytes) -> None:
-        self.blobs.append(blob)
+        # Durable storage holds real bytes only — a lazy wire frame handed
+        # in here is materialized, never stored by reference.
+        self.blobs.append(bytes(blob))
 
     def __len__(self) -> int:
         return len(self.blobs)

@@ -27,6 +27,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, DeliveryError
 from repro.interop.codec import Codec, get_codec, try_decode_dict
+from repro.interop.frames import WireFrame
 from repro.replication.shards import ShardMap
 from repro.transport.base import Address, Transport
 from repro.util.ids import IdGenerator
@@ -45,6 +46,9 @@ class _Request:
     force_primary: bool = False
     target: Optional[Address] = None
     timer: Any = None
+    # The request's lazy frame: retransmissions across timeouts/failovers
+    # reuse it, so the message encodes at most once per request lifetime.
+    wire: Optional[WireFrame] = None
 
 
 class GroupClient:
@@ -178,7 +182,9 @@ class GroupClient:
             self.request_timeout_s, self._on_timeout, request.rid,
             request.attempts,
         )
-        self.transport.send(request.target, self.codec.encode(request.message))
+        if request.wire is None:
+            request.wire = WireFrame(request.message, self.codec)
+        self.transport.send(request.target, request.wire)
 
     def _on_timeout(self, rid: str, attempt: int) -> None:
         request = self._requests.get(rid)

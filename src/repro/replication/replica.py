@@ -38,6 +38,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from repro.errors import ConfigurationError
 from repro.interop.codec import Codec, get_codec, try_decode_dict
+from repro.interop.frames import WireFrame
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import TRACER
 from repro.recovery.heartbeat import HeartbeatDetector
@@ -207,8 +208,13 @@ class ReplicaNode:
     # ------------------------------------------------------------- plumbing
 
     def _send(self, destination: Address, message: Dict[str, Any]) -> None:
+        # Message dicts ride in lazy frames (encoded only if a lower layer
+        # needs real bytes); fan-out paths pass a prebuilt WireFrame so the
+        # whole group shares one potential encode.
         if not self.transport.closed:
-            self.transport.send(destination, self.codec.encode(message))
+            if not isinstance(message, WireFrame):
+                message = WireFrame(message, self.codec)
+            self.transport.send(destination, message)
 
     def send_to_member(self, member: str, message: Dict[str, Any]) -> None:
         self._send(Address(member, self.port), message)
@@ -451,6 +457,7 @@ class ReplicaNode:
             message["repair"] = True
             message["from"] = repair_from
         targets = [only] if only is not None else self.peers
+        message = WireFrame(message, self.codec)
         if TRACER.enabled:
             with TRACER.span(
                 "repl.append",

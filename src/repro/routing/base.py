@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, MiddlewareError, NoRouteError
 from repro.interop.codec import Codec, get_codec, try_decode_dict
+from repro.interop.frames import WireFrame, is_frame
 from repro.obs.tracing import TRACER, SpanContext
 from repro.transport.base import Address, Scheduler, Transport
 from repro.transport.simnet import BROADCAST_NODE, SimFabric, SimTransport
@@ -51,6 +52,10 @@ class Envelope:
     trace_ctx: Optional[SpanContext] = field(
         default=None, compare=False, repr=False
     )
+    # In-memory only: the lazy frame this envelope arrived as, when its wire
+    # dict is known to round-trip through to_dict() byte-for-byte. Lets a
+    # forward patch just the ttl varint instead of re-encoding the dict.
+    wire: Optional[WireFrame] = field(default=None, compare=False, repr=False)
 
     def to_dict(self) -> Dict[str, Any]:
         message: Dict[str, Any] = {
@@ -252,6 +257,24 @@ class RoutingAgent:
         network = self.fabric.network
         return node_id in network and network.node(node_id).alive
 
+    def _frame_for(self, envelope: Envelope, out: Envelope):
+        """The wire frame for one outgoing hop.
+
+        When the incoming envelope carried a canonical wire dict
+        (``envelope.wire``) and the router changed nothing but the ttl, the
+        hop costs a ttl patch on the cached frame — the flood fast path.
+        Everything else (originations, DSR route edits) builds a fresh lazy
+        frame from ``out.to_dict()``. Overridden by the eager-codec baseline
+        in ``benchmarks/bench_wire.py``.
+        """
+        wire = envelope.wire
+        if wire is not None:
+            message = wire.message
+            if (message["b"] is out.payload
+                    and message.get("r") == out.route):
+                return wire.derive_int("t", out.ttl)
+        return WireFrame(out.to_dict(), self.codec)
+
     def forward_to(self, next_hop: str, envelope: Envelope) -> None:
         """Send an envelope one hop (decrements TTL)."""
         self.forwarded += 1
@@ -259,7 +282,7 @@ class RoutingAgent:
             envelope.source, envelope.destination, envelope.ttl - 1,
             envelope.seq, envelope.payload, envelope.route,
         )
-        frame = self.codec.encode(out.to_dict())
+        frame = self._frame_for(envelope, out)
         if TRACER.enabled:
             with TRACER.span("route.forward", parent=envelope.trace_ctx,
                              node=self.node_id, next_hop=next_hop,
@@ -275,7 +298,7 @@ class RoutingAgent:
             envelope.source, envelope.destination, envelope.ttl - 1,
             envelope.seq, envelope.payload, envelope.route,
         )
-        frame = self.codec.encode(out.to_dict())
+        frame = self._frame_for(envelope, out)
         if TRACER.enabled:
             with TRACER.span("route.flood", parent=envelope.trace_ctx,
                              node=self.node_id,
@@ -285,8 +308,12 @@ class RoutingAgent:
             self.endpoint.broadcast(frame)
 
     def send_control(self, destination: Optional[str], message: Dict[str, Any]) -> None:
-        """Router control traffic: unicast to a node, or broadcast if None."""
-        payload = self.codec.encode(message)
+        """Router control traffic: unicast to a node, or broadcast if None.
+
+        The message dict is captured in a lazy frame — callers must not
+        mutate it after this call (all in-tree routers build fresh dicts).
+        """
+        payload = WireFrame(message, self.codec)
         if destination is None:
             self.endpoint.broadcast(payload)
         else:
@@ -315,9 +342,11 @@ class RoutingAgent:
             self._drop("malformed")
             return
         if not isinstance(envelope.ttl, int) or not isinstance(envelope.seq, int) \
-                or not isinstance(envelope.payload, (bytes, bytearray)):
+                or not (isinstance(envelope.payload, (bytes, bytearray))
+                        or is_frame(envelope.payload)):
             self._drop("malformed")
             return
+        envelope.wire = self._capture_wire(payload, message, envelope)
         if TRACER.enabled:
             # Re-attach the trace context carried in the frame's packet
             # header (ambient here: we run inside the transport.deliver span).
@@ -328,6 +357,34 @@ class RoutingAgent:
             return
         self._seen.add(key)
         self._move(envelope)
+
+    _WIRE_KEYS = ("s", "d", "t", "q", "b")
+    _WIRE_KEYS_R = ("s", "d", "t", "q", "b", "r")
+
+    def _capture_wire(self, payload, message: Dict[str, Any],
+                      envelope: Envelope) -> Optional[WireFrame]:
+        """The received frame, iff its dict provably round-trips to_dict().
+
+        Forwarding via a cached frame is only sound when re-encoding
+        ``envelope.to_dict()`` would reproduce the received dict exactly:
+        canonical key order, addresses that re-stringify identically, and a
+        ttl that an int-field splice can rewrite. Anything else returns
+        None, falling back to the full re-encode — exactly the pre-frame
+        behavior (including its silent dropping of unknown keys).
+        """
+        keys = tuple(message)
+        if keys != self._WIRE_KEYS and keys != self._WIRE_KEYS_R:
+            return None
+        ttl = message["t"]
+        if type(ttl) is not int or type(message["q"]) is not int \
+                or not 0 <= ttl < 2**63:
+            return None
+        if message["s"] != str(envelope.source) \
+                or message["d"] != str(envelope.destination):
+            return None
+        if isinstance(payload, WireFrame) and payload.codec.name == self.codec.name:
+            return payload
+        return WireFrame(message, self.codec)
 
     def _drop(self, reason: str) -> None:
         self.dropped[reason] = self.dropped.get(reason, 0) + 1

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Set, Tuple
 
 from repro.interop.codec import Codec, get_codec
+from repro.interop.frames import WireFrame, decode_payload
 from repro.transport.base import Address
 from repro.transport.simnet import SimFabric, SimTransport
 from repro.util.ids import SequenceGenerator
@@ -102,9 +103,10 @@ class DataCentricAgent:
         self._seen_interests.add((self.node_id, seq))
         self.interests_sent += 1
         self.endpoint.broadcast(
-            self.codec.encode(
+            WireFrame(
                 {"c": "interest", "n": name, "o": self.node_id, "q": seq,
-                 "h": 0, "t": ttl}
+                 "h": 0, "t": ttl},
+                self.codec,
             )
         )
 
@@ -129,11 +131,14 @@ class DataCentricAgent:
     def _forward_data(self, message: Dict[str, Any]) -> int:
         gradients = self._live_gradients(message["n"])
         parents = {g.parent for g in gradients.values() if g.parent != self.node_id}
+        if not parents:
+            return 0
+        # One lazy frame for the whole fan-out: encoded at most once however
+        # many gradients the data flows down.
+        frame = WireFrame(message, self.codec)
         for parent in sorted(parents):
             self.data_sent += 1
-            self.endpoint.send(
-                Address(parent, DIFFUSION_PORT), self.codec.encode(message)
-            )
+            self.endpoint.send(Address(parent, DIFFUSION_PORT), frame)
         return len(parents)
 
     def _live_gradients(self, name: str) -> Dict[str, Gradient]:
@@ -146,7 +151,7 @@ class DataCentricAgent:
     # -------------------------------------------------------------- receiving
 
     def _on_message(self, source: Address, payload: bytes) -> None:
-        message = self.codec.decode(payload)
+        message = decode_payload(self.codec, payload)
         kind = message.get("c")
         if kind == "interest":
             self._on_interest(source, message)
@@ -171,7 +176,7 @@ class DataCentricAgent:
         if ttl >= 1:
             self.interests_sent += 1
             self.endpoint.broadcast(
-                self.codec.encode({**message, "h": hops, "t": ttl})
+                WireFrame({**message, "h": hops, "t": ttl}, self.codec)
             )
 
     def _on_data(self, message: Dict[str, Any]) -> None:

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional, Protocol
 
 from repro.errors import AddressError, TransportClosedError
+from repro.interop.frames import FRAME_TYPES
 from repro.obs.tracing import TRACER
 
 
@@ -93,12 +94,20 @@ class Transport(abc.ABC):
     # --------------------------------------------------------------- sending
 
     def send(self, destination: Address, payload: bytes) -> None:
-        """Send bytes, best-effort. Raises only on local errors (closed
-        endpoint, bad address) — remote loss is silent, as on a real network.
+        """Send bytes (or a lazy wire frame), best-effort. Raises only on
+        local errors (closed endpoint, bad address) — remote loss is silent,
+        as on a real network.
+
+        Frames (:class:`~repro.interop.frames.WireFrame` /
+        :class:`~repro.interop.frames.PrefixedFrame`) travel by reference so
+        same-process delivery never forces their encoding; ``len(payload)``
+        still reports the exact wire size either way.
         """
         if self._closed:
             raise TransportClosedError(f"{self._local} is closed")
-        if not isinstance(payload, (bytes, bytearray)):
+        if isinstance(payload, bytearray):
+            payload = bytes(payload)
+        elif not isinstance(payload, bytes) and not isinstance(payload, FRAME_TYPES):
             raise TypeError(
                 f"transport payloads must be bytes, got {type(payload).__name__}"
             )
@@ -111,9 +120,9 @@ class Transport(abc.ABC):
                 layer=type(self).__name__,
                 peer=destination.node,
             ):
-                self._send(destination, bytes(payload))
+                self._send(destination, payload)
         else:
-            self._send(destination, bytes(payload))
+            self._send(destination, payload)
 
     @abc.abstractmethod
     def _send(self, destination: Address, payload: bytes) -> None:

@@ -36,6 +36,9 @@ class InMemoryFabric:
     Messages are delivered after ``latency_s`` of virtual time and dropped
     with probability ``loss_probability`` (seeded). Unknown destinations are
     silently dropped, like a network.
+
+    Payloads travel by reference: lazy wire frames cross the fabric without
+    their bytes ever being materialized (see :mod:`repro.interop.frames`).
     """
 
     def __init__(

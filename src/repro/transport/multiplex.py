@@ -14,6 +14,7 @@ import struct
 from typing import Dict
 
 from repro.errors import ConfigurationError
+from repro.interop.frames import PrefixedFrame, is_frame
 from repro.obs.metrics import get_registry
 from repro.transport.base import Address, Scheduler, Transport
 
@@ -48,9 +49,27 @@ class Multiplexer:
 
     def _transmit(self, name: str, destination: Address, payload: bytes) -> None:
         encoded = name.encode("utf-8")
-        self.inner.send(destination, _LEN.pack(len(encoded)) + encoded + payload)
+        header = _LEN.pack(len(encoded)) + encoded
+        if is_frame(payload):
+            # Keep a lazy payload lazy: the header rides as a prefix and the
+            # receiving multiplexer peels it off by reference.
+            self.inner.send(destination, PrefixedFrame(header, payload))
+            return
+        self.inner.send(destination, header + payload)
 
     def _on_frame(self, source: Address, frame: bytes) -> None:
+        body = None
+        if isinstance(frame, PrefixedFrame):
+            prefix = frame.prefix
+            if (len(prefix) >= _LEN.size
+                    and _LEN.size + _LEN.unpack_from(prefix, 0)[0] == len(prefix)):
+                # The prefix is exactly our header (the sending mux's shape):
+                # peel it off by reference, the body stays lazy.
+                frame, body = prefix, frame.body
+            else:
+                frame = bytes(frame)
+        elif not isinstance(frame, (bytes, bytearray)):
+            frame = bytes(frame)
         if len(frame) < _LEN.size:
             self._drop_malformed()
             return
@@ -67,7 +86,9 @@ class Multiplexer:
         channel = self._channels.get(name)
         if channel is None or channel.closed:
             return  # no listener on this channel: drop, like an unbound port
-        channel._dispatch(source, frame[header_end:])
+        if body is None:
+            body = frame[header_end:]
+        channel._dispatch(source, body)
 
     def _drop_malformed(self) -> None:
         self.malformed_frames += 1

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError
+from repro.interop.frames import PrefixedFrame, is_frame, split_frame
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import TRACER, SpanContext
 from repro.transport.base import Address, Scheduler, Transport
@@ -139,10 +140,18 @@ class ReliableTransport(Transport):
 
     # --------------------------------------------------------------- sending
 
+    @staticmethod
+    def _data_frame(seq: int, payload: bytes):
+        """DATA header + payload; keeps a lazy payload lazy."""
+        header = DATA_FLAG + _SEQ.pack(seq)
+        if is_frame(payload):
+            return PrefixedFrame(header, payload)
+        return header + payload
+
     def _send(self, destination: Address, payload: bytes) -> None:
         if destination.node == BROADCAST_NODE:
             # Fire-and-forget: broadcast cannot be positively acknowledged.
-            self.inner.send(destination, DATA_FLAG + _SEQ.pack(0) + payload)
+            self.inner.send(destination, self._data_frame(0, payload))
             return
         seq = self._next_seq.get(destination, 1)
         self._next_seq[destination] = seq + 1
@@ -151,7 +160,7 @@ class ReliableTransport(Transport):
 
     def _transmit(self, destination: Address, seq: int, payload: bytes,
                   attempt: int, ctx: Optional[SpanContext] = None) -> None:
-        frame = DATA_FLAG + _SEQ.pack(seq) + payload
+        frame = self._data_frame(seq, payload)
         if attempt > 0 and TRACER.enabled:
             with TRACER.span("transport.retransmit", parent=ctx,
                              node=self._local.node, peer=destination.node,
@@ -183,10 +192,11 @@ class ReliableTransport(Transport):
     # ------------------------------------------------------------- receiving
 
     def _on_frame(self, source: Address, frame: bytes) -> None:
-        if len(frame) < 1 + _SEQ.size:
+        header, payload = split_frame(frame, RELIABLE_HEADER_BYTES)
+        if header is None:
             self._drop_malformed(source, f"truncated ({len(frame)} bytes)")
             return
-        flag, seq = frame[:1], _SEQ.unpack_from(frame, 1)[0]
+        flag, seq = header[:1], _SEQ.unpack_from(header, 1)[0]
         if flag == ACK_FLAG:
             entry = self._pending.pop((source, seq), None)
             if entry is not None:
@@ -198,7 +208,6 @@ class ReliableTransport(Transport):
         if flag != DATA_FLAG:
             self._drop_malformed(source, f"unknown flag {flag!r}")
             return
-        payload = frame[1 + _SEQ.size:]
         if seq == 0:
             # Unacknowledged broadcast frame: deliver as-is.
             self._dispatch(source, payload)

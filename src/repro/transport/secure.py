@@ -71,6 +71,9 @@ class SecureChannel:
         return party_hash + self._nonce_counter.to_bytes(8, "big")
 
     def seal(self, party: str, plaintext: bytes) -> bytes:
+        # Crypto needs real bytes: a lazy wire frame is materialized here,
+        # never passed through by reference.
+        plaintext = bytes(plaintext)
         nonce = self._next_nonce(party)
         ciphertext = _xor(plaintext, _keystream(self._enc_key, nonce, len(plaintext)))
         tag = hmac.new(self._mac_key, nonce + ciphertext, hashlib.sha256).digest()

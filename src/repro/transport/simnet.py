@@ -11,6 +11,12 @@ the position the paper takes in Section 3.5 — and is provided by
 
 The special node name ``"*"`` broadcasts to all radio neighbors; receivers
 see the true source address.
+
+Payloads ride inside :class:`~repro.netsim.packet.Packet` objects by
+reference, and ``payload_bytes`` is computed with ``len(payload)`` — which a
+lazy :class:`~repro.interop.frames.WireFrame` answers without materializing
+— so serialization-delay and energy accounting are identical whether a
+payload is eager bytes or a frame.
 """
 
 from __future__ import annotations
