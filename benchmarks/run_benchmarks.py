@@ -48,6 +48,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_FILES = [
     Path(__file__).resolve().parent / "bench_micro.py",
     Path(__file__).resolve().parent / "bench_obs.py",
+    Path(__file__).resolve().parent / "bench_overload.py",
     Path(__file__).resolve().parent / "bench_reconfigure_loop.py",
     Path(__file__).resolve().parent / "bench_replication.py",
     Path(__file__).resolve().parent / "bench_wire.py",

@@ -28,7 +28,10 @@ The model follows the MiLAN technical report (TR-795) lineage:
   (:mod:`repro.core.configurator`), and :mod:`repro.core.milan` is the
   runtime that re-runs the whole pipeline as states, sensors, and energy
   change. :mod:`repro.core.policy` is the application-facing declarative
-  policy object.
+  policy object. :mod:`repro.core.overload` closes the overload loop:
+  transport/admission pressure signals drive a governor that degrades the
+  per-state requirements toward a QoS floor (and restores them) via
+  :meth:`Milan.set_requirements_override`.
 """
 
 from repro.core.configurator import NetworkConfiguration, configure
@@ -39,6 +42,14 @@ from repro.core.feasibility import (
     satisfies,
 )
 from repro.core.milan import Milan
+from repro.core.overload import (
+    DEFAULT_LEVELS,
+    OverloadGovernor,
+    OverloadLevel,
+    queue_pressure,
+    rejection_pressure,
+    shed_pressure,
+)
 from repro.core.plugins import (
     BandwidthPlugin,
     BluetoothPlugin,
@@ -61,6 +72,12 @@ __all__ = [
     "minimal_feasible_sets",
     "satisfies",
     "Milan",
+    "DEFAULT_LEVELS",
+    "OverloadGovernor",
+    "OverloadLevel",
+    "queue_pressure",
+    "rejection_pressure",
+    "shed_pressure",
     "BandwidthPlugin",
     "BluetoothPlugin",
     "NetworkContext",

@@ -22,7 +22,7 @@ Events (via :attr:`events`): ``"reconfigured"`` (configuration, score),
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.configurator import NetworkConfiguration, configure
 from repro.core.feasibility import (
@@ -82,6 +82,9 @@ class Milan:
         # of the active-sensor frozenset it was derived from.
         self._active_sorted: Tuple[str, ...] = ()
         self._active_sorted_for: Optional[SensorSet] = None
+        self._requirements_override: Optional[
+            Callable[[Dict[str, float]], Dict[str, float]]
+        ] = None
 
     # ------------------------------------------------------------ inspection
 
@@ -94,7 +97,28 @@ class Milan:
         return self.context.sensors
 
     def requirements(self) -> Dict[str, float]:
-        return self.policy.requirements.for_state(self.state)
+        base = self.policy.requirements.for_state(self.state)
+        if self._requirements_override is not None:
+            return self._requirements_override(base)
+        return base
+
+    def set_requirements_override(
+        self,
+        override: Optional[Callable[[Dict[str, float]], Dict[str, float]]],
+        reconfigure: bool = True,
+    ) -> None:
+        """Install (or with ``None``, remove) a requirements transform.
+
+        The override maps the policy's per-state requirements to what the
+        pipeline should actually satisfy — the overload governor uses it to
+        degrade sampling quality toward a QoS floor under load. Distinct
+        outputs key distinct :class:`~repro.core.reconfig.ReconfigEngine`
+        cache entries, so flipping between overload levels is a warm
+        reconfiguration after the first visit to each level.
+        """
+        self._requirements_override = override
+        if reconfigure and self.auto_reconfigure:
+            self.reconfigure()
 
     def active_sensor_ids(self) -> SensorSet:
         if self.current_configuration is None:

@@ -110,7 +110,16 @@ class DeadlineMissed(SchedulingError):
 
 
 class AdmissionRefused(SchedulingError):
-    """The scheduler refused to admit a task (admission control)."""
+    """Admission control said "no" (task scheduler, bandwidth reservation,
+    or the request-edge admission controller).
+
+    ``retry_after_s`` (when not ``None``) is the controller's pacing hint:
+    the earliest time a retry of the same request could be admitted.
+    """
+
+    def __init__(self, message: str, retry_after_s: "float | None" = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
 
 
 class RecoveryError(MiddlewareError):

@@ -25,6 +25,12 @@ After the storm heals, the campaign checks **recovery invariants**:
   (at-least-once with idempotent application = effectively exactly once).
 * ``heartbeat_exact`` — every injected crash episode long enough to detect
   was reported by the monitor's failure detector exactly once.
+* ``overload_protected`` (flashcrowd mix) — under a flash crowd of
+  open-loop RPCs, the admission controller shed the excess at the edge,
+  the paced bulk queue stayed bounded and drained, admitted-request p99
+  stayed under its bound (no collapse), and the overload governor degraded
+  MiLAN's requirements toward — never through — the QoS floor and restored
+  them after the spike.
 
 Everything is a pure function of ``(mix, seed)``: the scorecard is
 byte-identical across runs and across processes (the PR-3 sweep runner
@@ -34,21 +40,26 @@ fans campaigns over seeds). No wall-clock values appear in the scorecard.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.core.milan import Milan
+from repro.core.overload import OverloadGovernor, queue_pressure, rejection_pressure
 from repro.core.policy import health_monitor_policy
-from repro.core.sensors import sensor_from_description
+from repro.core.sensors import SensorInfo, sensor_from_description
 from repro.discovery.matching import Query
-from repro.errors import ConfigurationError
+from repro.errors import AdmissionRefused, ConfigurationError
 from repro.netsim import topology
 from repro.netsim.failures import FailureInjector
 from repro.netsim.mobility import RandomWaypointMobility
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import TRACER
+from repro.qos.admission import AdmissionController, PriorityClass
 from repro.qos.spec import SupplierQoS
 from repro.recovery.heartbeat import HeartbeatDetector
+from repro.scheduling.bandwidth import BandwidthAllocator
+from repro.transport.pacing import PacedTransport
 from repro.replication.client import GroupClient
 from repro.replication.replica import ReplicationParams, deploy_group
 from repro.replication.services import LedgerMachine, ReplicatedLedger
@@ -61,10 +72,14 @@ from repro.util.rng import split_rng
 
 #: The campaign fault mixes. Each is a different storm shape over the same
 #: deployment; ``corrupt`` and ``partition`` cover the two scenarios the
-#: acceptance criteria single out (corrupt-frame and mobile-partition), and
+#: acceptance criteria single out (corrupt-frame and mobile-partition),
 #: ``failover`` adds a replicated ledger group whose primary is crashed
-#: mid-storm, so coordinator election runs over the multi-hop stack.
-FAULT_MIXES = ("churn", "partition", "corrupt", "failover")
+#: mid-storm, so coordinator election runs over the multi-hop stack, and
+#: ``flashcrowd`` replaces injected faults with injected *load* — an
+#: open-loop RPC spike that the overload-protection path (admission
+#: control, paced bounded queues, the MiLAN overload governor) must absorb
+#: without collapse.
+FAULT_MIXES = ("churn", "partition", "corrupt", "failover", "flashcrowd")
 
 _HB_PORT = "hb"
 _BULK_PORT = "bulk"
@@ -89,6 +104,23 @@ _REPL_PARAMS = ReplicationParams(
 #: Ledger accounts and their initial balance (conservation invariant).
 _ACCOUNTS = ("acct0", "acct1", "acct2", "acct3")
 _INITIAL_BALANCE = 100
+
+#: The flashcrowd mix's QoS floor: the per-variable reliability the
+#: overload governor must never degrade below, whatever the load.
+_QOS_FLOOR = {"blood_pressure": 0.45, "heart_rate": 0.4,
+              "oxygen_saturation": 0.4}
+
+#: The live MiLAN fleet the flashcrowd governor reconfigures (same
+#: reliabilities as the discovered suppliers below, built directly so the
+#: governor's subject does not depend on discovery timing).
+_FLASH_SENSORS = (
+    SensorInfo("bp-cuff", {"blood_pressure": 0.95}, active_power_w=0.02),
+    SensorInfo("ecg", {"heart_rate": 0.95, "blood_pressure": 0.3},
+               active_power_w=0.03),
+    SensorInfo("ppg", {"heart_rate": 0.8, "oxygen_saturation": 0.9},
+               active_power_w=0.01),
+    SensorInfo("spo2", {"oxygen_saturation": 0.85}, active_power_w=0.012),
+)
 
 #: The four MiLAN sensor suppliers (from the Section 3.1 health scenario).
 _SENSOR_SPECS = [
@@ -128,6 +160,12 @@ class CampaignSpec:
     hb_timeout_multiplier: float = 2.5
     reconvergence_bound_s: float = 12.0
     recv_window: int = 256
+    # Flashcrowd mix: one crowd arrival every crowd_interval_s during the
+    # spike (40 req/s by default) against a 10 req/s crowd class — the
+    # controller must shed roughly three of every four arrivals.
+    crowd_interval_s: float = 0.025
+    crowd_rate_rps: float = 10.0
+    crowd_p99_bound_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.mix not in FAULT_MIXES:
@@ -205,6 +243,10 @@ class _Ledger:
         return sum(self.balances.values())
 
 
+def _round_opt(value: Optional[float]) -> Optional[float]:
+    return None if value is None else round(value, 6)
+
+
 class ChaosCampaign:
     """Builds the deployment, schedules the storm, runs it, and judges it."""
 
@@ -220,6 +262,18 @@ class ChaosCampaign:
         }
         self.last_heal_s = spec.fault_start_s
         self._corruptor = None
+        # Flashcrowd-mix machinery (None elsewhere); _fc accumulates the
+        # overload observations that become the scorecard's section.
+        self.admission: Optional[AdmissionController] = None
+        self.bulk_pacer: Optional[PacedTransport] = None
+        self.milan_live: Optional[Milan] = None
+        self.governor: Optional[OverloadGovernor] = None
+        self.spike_window: Optional[Tuple[float, float]] = None
+        self._fc: Dict[str, Any] = {
+            "attempted": 0, "refused": 0, "refused_with_hint": 0,
+            "ok": 0, "failed": 0, "latencies": [],
+            "max_level": 0, "floor_violations": 0, "min_requirement": 1.0,
+        }
         self._build_stack()
         self._schedule_workload()
         self._schedule_faults()
@@ -282,6 +336,19 @@ class ChaosCampaign:
             dst_agent.open_port(_BULK_PORT), params=params
         )
         self.bulk_receiver.set_receiver(self._on_bulk)
+        # The flashcrowd mix paces the bulk stream *above* the reliability
+        # layer: a message the pacer sheds was never handed to it, so no
+        # retransmit state exists for shed traffic. The 600 bps reservation
+        # sits just under the stream's ~731 bps offered load, so the
+        # bounded queue genuinely fills and drains within the run.
+        self.bulk_pipe: Any = self.bulk_sender
+        if spec.mix == "flashcrowd":
+            self.bulk_allocator = BandwidthAllocator(1200.0, burst_s=1.0)
+            self.bulk_pacer = PacedTransport(
+                self.bulk_sender, self.bulk_allocator, "bulk",
+                rate_bps=600.0, max_queue=16,
+            )
+            self.bulk_pipe = self.bulk_pacer
 
         # Heartbeats: everyone beats toward the monitor; the monitor watches.
         self.detectors: Dict[str, HeartbeatDetector] = {}
@@ -340,6 +407,35 @@ class ChaosCampaign:
             )
             self.repl_ledger = ReplicatedLedger(self.repl_client)
 
+        # The flashcrowd mix arms the overload-protection path: priority
+        # admission at the monitor's RPC edge (privileged probes keep
+        # passing while the crowd is shed) and an overload governor that
+        # degrades a live MiLAN instance toward the QoS floor under load.
+        if spec.mix == "flashcrowd":
+            monitor_rpc = self.nodes[self.monitor_id].rpc
+            scheduler = monitor_rpc.transport.scheduler
+            self.admission = AdmissionController(
+                scheduler.now,
+                capacity_per_s=spec.crowd_rate_rps + 4.0,
+                classes=[
+                    PriorityClass("probe", 2.0, privileged=True),
+                    PriorityClass("crowd", spec.crowd_rate_rps),
+                ],
+            )
+            monitor_rpc.admission = self.admission
+            monitor_rpc.admission_class = "probe"
+            self.milan_live = Milan(health_monitor_policy())
+            for sensor in _FLASH_SENSORS:
+                self.milan_live.add_sensor(sensor)
+            self.governor = OverloadGovernor(
+                scheduler, self.milan_live, floor=dict(_QOS_FLOOR),
+                interval_s=1.0, dwell_s=2.0,
+            )
+            self.governor.add_signal(
+                "admission", rejection_pressure(self.admission)
+            )
+            self.governor.add_signal("bulk_queue", queue_pressure(self.bulk_pacer))
+
     # -------------------------------------------------------------- workload
 
     def _on_bulk(self, _source: Address, payload: bytes) -> None:
@@ -352,7 +448,7 @@ class ChaosCampaign:
 
         def send_bulk(index: int) -> None:
             self.state.bulk_sent += 1
-            self.bulk_sender.send(dst, index.to_bytes(4, "big") + b"x" * 28)
+            self.bulk_pipe.send(dst, index.to_bytes(4, "big") + b"x" * 28)
 
         for i in range(spec.bulk_messages):
             sim.schedule_at(2.0 + i * spec.bulk_interval_s, send_bulk, i)
@@ -507,6 +603,8 @@ class ChaosCampaign:
             self._schedule_partition()
         elif spec.mix == "failover":
             self._schedule_failover()
+        elif spec.mix == "flashcrowd":
+            self._schedule_flashcrowd()
         else:
             self._schedule_corrupt()
 
@@ -580,6 +678,66 @@ class ChaosCampaign:
             self.injector.loss_burst_at(start, duration,
                                         extra_loss=self.rng.uniform(0.15, 0.3))
             self.fault_counts["loss_bursts"] += 1
+
+    def _schedule_flashcrowd(self) -> None:
+        """The storm is load, not faults: an open-loop RPC flash crowd.
+
+        The spike window is drawn like any other fault window (so the
+        standard reconvergence check judges recovery from its end), and
+        every arrival goes through the "crowd" admission class with no
+        retries — the protected system's answer to excess is an immediate
+        :class:`AdmissionRefused` with a pacing hint, never queued work.
+        """
+        spec = self.spec
+        sim = self.network.sim
+        (start, duration), = self._fault_times(1, (12.0, 16.0))
+        self.spike_window = (start, start + duration)
+        monitor = self.nodes[self.monitor_id]
+        provider = f"{self.ledger_id}:svc"
+        fc = self._fc
+
+        def crowd_call() -> None:
+            fc["attempted"] += 1
+            issued = sim.now()
+            promise = monitor.rpc.call(
+                Address.parse(provider), "ping", {},
+                timeout_s=2.0, priority="crowd",
+            )
+
+            def settle(settled) -> None:
+                if settled.fulfilled and settled.result() == "pong":
+                    fc["ok"] += 1
+                    fc["latencies"].append(sim.now() - issued)
+                elif isinstance(settled.error(), AdmissionRefused):
+                    fc["refused"] += 1
+                    if settled.error().retry_after_s is not None:
+                        fc["refused_with_hint"] += 1
+                else:
+                    fc["failed"] += 1
+
+            promise.on_settle(settle)
+
+        t = start
+        while t < start + duration:
+            sim.schedule_at(t, crowd_call)
+            t += spec.crowd_interval_s
+
+        # Governor heartbeat: one sample per virtual second for the whole
+        # run, driven by the simulator so ticks are deterministic.
+        t = 1.0
+        while t < spec.duration_s - 1.0:
+            sim.schedule_at(t, self._governor_tick)
+            t += 1.0
+
+    def _governor_tick(self) -> None:
+        assert self.governor is not None and self.milan_live is not None
+        self.governor.tick()
+        fc = self._fc
+        fc["max_level"] = max(fc["max_level"], self.governor.level)
+        for variable, required in self.milan_live.requirements().items():
+            if required < _QOS_FLOOR.get(variable, 0.0) - 1e-9:
+                fc["floor_violations"] += 1
+            fc["min_requirement"] = min(fc["min_requirement"], required)
 
     def _schedule_corrupt(self) -> None:
         for start, duration in self._fault_times(2, (4.0, 7.0)):
@@ -751,6 +909,114 @@ class ChaosCampaign:
             "conserved": conserved,
         }
 
+    def _check_flashcrowd(self, violations: List[str]) -> Optional[Dict[str, Any]]:
+        """Flashcrowd-mix invariants: shed at the edge, bounded everywhere.
+
+        Bounded p99 over *admitted* crowd requests (the protected system
+        must stay fast for work it accepts), shedding engaged (the spike
+        genuinely exceeded capacity), the paced queue bounded and drained,
+        the governor degraded under load and returned to nominal, and
+        requirements never crossed the QoS floor.
+        """
+        if self.spec.mix != "flashcrowd":
+            return None
+        assert (self.admission is not None and self.bulk_pacer is not None
+                and self.governor is not None and self.milan_live is not None)
+        fc = self._fc
+        latencies = sorted(fc["latencies"])
+
+        def percentile(q: float) -> Optional[float]:
+            if not latencies:
+                return None
+            index = min(len(latencies) - 1, max(0, math.ceil(q * len(latencies)) - 1))
+            return latencies[index]
+
+        p99 = percentile(0.99)
+        if fc["ok"] == 0:
+            violations.append("flashcrowd: no admitted crowd request completed")
+        elif p99 is not None and p99 > self.spec.crowd_p99_bound_s:
+            violations.append(
+                f"flashcrowd: admitted-request p99 {p99:.3f}s exceeds "
+                f"bound {self.spec.crowd_p99_bound_s}s"
+            )
+        completed = fc["ok"] + fc["failed"]
+        if completed and fc["ok"] < 0.9 * completed:
+            violations.append(
+                f"flashcrowd: goodput collapsed ({fc['ok']}/{completed} "
+                "admitted requests succeeded)"
+            )
+        if self.admission.rejected == 0:
+            violations.append("flashcrowd: admission control never engaged")
+        if fc["refused"] != fc["refused_with_hint"]:
+            violations.append(
+                "flashcrowd: some refusals carried no retry_after_s hint"
+            )
+        pacer = self.bulk_pacer
+        if pacer.queued == 0:
+            violations.append("flashcrowd: the paced bulk queue never filled")
+        if pacer.max_queue_depth > pacer.max_queue:
+            violations.append(
+                f"flashcrowd: paced queue exceeded its bound "
+                f"({pacer.max_queue_depth} > {pacer.max_queue})"
+            )
+        if pacer.queue_depth != 0:
+            violations.append(
+                f"flashcrowd: paced queue not drained after quiesce "
+                f"({pacer.queue_depth} left)"
+            )
+        if self.governor.escalations == 0:
+            violations.append("flashcrowd: the governor never degraded under load")
+        if self.governor.level != 0:
+            violations.append(
+                f"flashcrowd: the governor did not restore nominal "
+                f"(still at {self.governor.level_name})"
+            )
+        if fc["floor_violations"]:
+            violations.append(
+                f"flashcrowd: requirements crossed the QoS floor "
+                f"{fc['floor_violations']} times"
+            )
+        spike_start, spike_stop = self.spike_window or (0.0, 0.0)
+        return {
+            "spike": {
+                "start_s": round(spike_start, 6),
+                "stop_s": round(spike_stop, 6),
+            },
+            "crowd": {
+                "attempted": fc["attempted"],
+                "admitted": fc["attempted"] - fc["refused"],
+                "refused": fc["refused"],
+                "ok": fc["ok"],
+                "failed": fc["failed"],
+                "p50_s": _round_opt(percentile(0.5)),
+                "p95_s": _round_opt(percentile(0.95)),
+                "p99_s": _round_opt(p99),
+            },
+            "admission": {
+                "admitted": self.admission.admitted,
+                "rejected": self.admission.rejected,
+            },
+            "pacer": {
+                "sent": pacer.paced_sent,
+                "queued": pacer.queued,
+                "shed": pacer.shed,
+                "max_depth": pacer.max_queue_depth,
+                "final_depth": pacer.queue_depth,
+            },
+            "governor": {
+                "escalations": self.governor.escalations,
+                "deescalations": self.governor.deescalations,
+                "max_level": fc["max_level"],
+                "final_level": self.governor.level,
+                "ticks": self.governor.ticks,
+            },
+            "milan": {
+                "reconfigurations": self.milan_live.reconfigurations,
+                "min_requirement": round(fc["min_requirement"], 9),
+                "floor_violations": fc["floor_violations"],
+            },
+        }
+
     def _first_ok_after(self, probes: List[_ProbeRecord],
                         after: float) -> Optional[float]:
         for record in probes:
@@ -836,17 +1102,18 @@ class ChaosCampaign:
         heartbeat = self._check_heartbeat(violations)
         reconvergence = self._check_reconvergence(violations)
         replication = self._check_replication(violations)
+        overload = self._check_flashcrowd(violations)
 
         scorecard = self._scorecard(violations, heartbeat, reconvergence,
                                     duplicate_deliveries, max_window, conserved,
-                                    replication)
+                                    replication, overload)
         self._publish(scorecard)
         self._teardown()
         return scorecard
 
     def _scorecard(self, violations, heartbeat, reconvergence,
                    duplicate_deliveries, max_window, conserved,
-                   replication) -> Dict[str, Any]:
+                   replication, overload) -> Dict[str, Any]:
         state = self.state
         sent = state.bulk_sent
         delivered = len(set(state.bulk_received))
@@ -882,6 +1149,9 @@ class ChaosCampaign:
             and heartbeat["duplicate_detections"] == 0,
             "replication_failover": not any(
                 v.startswith("replication:") for v in violations
+            ),
+            "overload_protected": not any(
+                v.startswith("flashcrowd:") for v in violations
             ),
         }
         return {
@@ -919,6 +1189,7 @@ class ChaosCampaign:
                 "sensors_after": milan_after_sensors,
             },
             "replication": replication,
+            "overload": overload,
             "invariants": invariants,
             "violations": sorted(violations),
             "ok": not violations,
@@ -950,9 +1221,14 @@ class ChaosCampaign:
             for replica in self.repl_group.values():
                 replica.close()
             self.repl_client.close()
+        if self.governor is not None:
+            self.governor.stop()
         for detector in self.detectors.values():
             detector.stop()
-        self.bulk_sender.close()
+        if self.bulk_pacer is not None:
+            self.bulk_pacer.close()  # closes the inner reliable transport too
+        elif not self.bulk_sender.closed:
+            self.bulk_sender.close()
         self.bulk_receiver.close()
         for node in self.nodes.values():
             node.close()

@@ -14,7 +14,9 @@ The paper splits QoS three ways and this package mirrors that split:
 :func:`~repro.qos.spec.score_match` combines all three into the matching
 score used by service discovery, and :mod:`repro.qos.contract` /
 :mod:`repro.qos.monitor` provide the runtime side: contracts, violation
-detection, and the graceful-degradation manager.
+detection, and the graceful-degradation manager. :mod:`repro.qos.admission`
+adds request-edge admission control with priority classes — the front door
+of the overload-protection path (Section 3.7).
 """
 
 from repro.qos.benefit import (
@@ -29,7 +31,20 @@ from repro.qos.monitor import DegradationManager, QoSMonitor
 from repro.qos.spatial import SpatialPreference, spatial_score
 from repro.qos.spec import ConsumerQoS, MatchScore, NetworkQoS, SupplierQoS, score_match
 
+
+def __getattr__(name):
+    # Lazy: repro.qos is imported by discovery (service descriptions embed
+    # SupplierQoS), and admission pulls in repro.scheduling → transactions →
+    # discovery. Deferring the import breaks that cycle.
+    if name in ("AdmissionController", "PriorityClass"):
+        from repro.qos import admission
+
+        return getattr(admission, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
+    "AdmissionController",
+    "PriorityClass",
     "BenefitFunction",
     "ConstantBenefit",
     "ExponentialDecayBenefit",

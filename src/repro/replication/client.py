@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigurationError, DeliveryError
+from repro.errors import AdmissionRefused, ConfigurationError, DeliveryError
 from repro.interop.codec import Codec, get_codec, try_decode_dict
 from repro.interop.frames import WireFrame
 from repro.replication.shards import ShardMap
@@ -64,6 +64,8 @@ class GroupClient:
         max_attempts: Optional[int] = 12,
         backoff_factor: float = 1.5,
         max_backoff_s: float = 4.0,
+        admission: Optional[Any] = None,
+        priority: str = "normal",
     ):
         if not members:
             raise ConfigurationError("a group client needs at least one member")
@@ -74,6 +76,11 @@ class GroupClient:
         self.max_attempts = max_attempts
         self.backoff_factor = backoff_factor
         self.max_backoff_s = max_backoff_s
+        # Optional AdmissionController consulted in _submit: a refused
+        # request rejects immediately (with retry_after_s) instead of
+        # entering the retry/failover machinery and amplifying overload.
+        self.admission = admission
+        self.priority = priority
         self.scheduler = transport.scheduler
         # Bully picks the highest node id, so that is the best cold guess.
         self._leader: Optional[int] = max(
@@ -88,6 +95,7 @@ class GroupClient:
         self.failovers = 0
         self.stale_retries = 0
         self.rejections = 0
+        self.admission_rejected = 0
         self.malformed_frames = 0
         transport.set_receiver(self._on_message)
 
@@ -137,6 +145,17 @@ class GroupClient:
         self, rid: str, message: Dict[str, Any], *, blocking: bool, read: bool
     ) -> Promise:
         promise = Promise()
+        if self.admission is not None:
+            retry_after = self.admission.try_admit(
+                self.priority, now=self.scheduler.now()
+            )
+            if retry_after is not None:
+                self.admission_rejected += 1
+                promise.reject(AdmissionRefused(
+                    f"request {rid} refused by admission class "
+                    f"{self.priority!r}", retry_after_s=retry_after,
+                ))
+                return promise
         request = _Request(
             rid=rid, message=message, promise=promise,
             blocking=blocking, read=read,
@@ -301,6 +320,7 @@ class GroupClient:
             "failovers": self.failovers,
             "stale_retries": self.stale_retries,
             "rejections": self.rejections,
+            "admission_rejected": self.admission_rejected,
             "in_flight": len(self._requests),
         }
 

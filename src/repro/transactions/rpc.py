@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Mapping, Optional
 
-from repro.errors import RemoteError, RpcError, RpcTimeoutError, SchemaError
+from repro.errors import AdmissionRefused, RemoteError, RpcError, RpcTimeoutError, SchemaError
 from repro.interop.codec import Codec, get_codec, try_decode_dict
 from repro.interop.schema import InterfaceSchema
 from repro.obs.tracing import NOOP_SPAN, TRACER
@@ -54,17 +54,25 @@ class RpcEndpoint:
         codec: Optional[Codec] = None,
         interface: Optional[InterfaceSchema] = None,
         default_timeout_s: float = 2.0,
+        admission: Optional[Any] = None,
+        admission_class: str = "normal",
     ):
         self.transport = transport
         self.codec = codec if codec is not None else get_codec("binary")
         self.interface = interface
         self.default_timeout_s = default_timeout_s
+        # Optional AdmissionController consulted before each outbound call;
+        # refused calls reject immediately with a retry_after_s hint instead
+        # of adding load (timeouts, retransmits) to an overloaded system.
+        self.admission = admission
+        self.admission_class = admission_class
         self._handlers: Dict[str, Handler] = {}
         self._rids = IdGenerator(f"rpc:{transport.local_address}")
         self._pending: Dict[str, _PendingCall] = {}
         self.calls_made = 0
         self.calls_served = 0
         self.timeouts = 0
+        self.admission_rejected = 0
         self.malformed_frames = 0
         transport.set_receiver(self._on_message)
 
@@ -121,13 +129,32 @@ class RpcEndpoint:
         params: Optional[Mapping[str, Any]] = None,
         timeout_s: Optional[float] = None,
         retries: int = 0,
+        priority: Optional[str] = None,
     ) -> Promise:
         """Invoke a remote method; fulfills with the result value.
 
         Rejects with :class:`RpcTimeoutError` after ``retries`` re-sends all
-        time out, or :class:`RemoteError` if the handler raised.
+        time out, or :class:`RemoteError` if the handler raised. With an
+        admission controller attached, a call the controller refuses rejects
+        *immediately* with :class:`AdmissionRefused` carrying the
+        ``retry_after_s`` pacing hint — nothing reaches the wire.
+        ``priority`` selects the admission class (default
+        :attr:`admission_class`).
         """
         params = dict(params or {})
+        if self.admission is not None:
+            cls = priority if priority is not None else self.admission_class
+            retry_after = self.admission.try_admit(
+                cls, now=self.transport.scheduler.now()
+            )
+            if retry_after is not None:
+                self.admission_rejected += 1
+                refused: Promise = Promise()
+                refused.reject(AdmissionRefused(
+                    f"call {method!r} refused by admission class {cls!r}",
+                    retry_after_s=retry_after,
+                ))
+                return refused
         if self.interface is not None:
             try:
                 self.interface.operation(method).validate_params(params)

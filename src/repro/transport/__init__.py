@@ -17,6 +17,9 @@ optionally composed with:
 * :mod:`repro.transport.secure` — shared-key encryption and authentication
   (Section 3.3's transport-level security),
 * :mod:`repro.transport.multiplex` — named channels over one endpoint,
+* :mod:`repro.transport.pacing` — bounded-queue, token-bucket-paced sending
+  charged against a :class:`~repro.scheduling.bandwidth.BandwidthAllocator`
+  reservation (the overload-protection send path),
 * :mod:`repro.transport.stack` — declarative composition of the above.
 
 Payloads are ``bytes`` end to end; structured messages are encoded by
@@ -27,6 +30,7 @@ overhead experiments.
 from repro.transport.base import Address, Scheduler, Transport
 from repro.transport.inmemory import InMemoryFabric, InMemoryTransport
 from repro.transport.multiplex import ChannelTransport, Multiplexer
+from repro.transport.pacing import PacedTransport
 from repro.transport.reliable import ReliabilityParams, ReliableTransport
 from repro.transport.secure import SecureChannel, SecureTransport
 from repro.transport.simnet import SimFabric, SimTransport
@@ -40,6 +44,7 @@ __all__ = [
     "InMemoryTransport",
     "ChannelTransport",
     "Multiplexer",
+    "PacedTransport",
     "ReliabilityParams",
     "ReliableTransport",
     "SecureChannel",

@@ -146,3 +146,60 @@ class TestExperimentHarness:
 
     def test_cli_rejects_unknown_mix(self):
         assert exp_chaos.main(["--mixes", "nope"]) == 2
+
+
+class TestFlashCrowd:
+    """The overload-protection mix: load injection instead of faults."""
+
+    def test_protection_engages_and_recovers(self):
+        scorecard = run_campaign("flashcrowd", 0, **SHORT)
+        assert scorecard["ok"], scorecard["violations"]
+        assert scorecard["invariants"]["overload_protected"]
+        overload = scorecard["overload"]
+        crowd = overload["crowd"]
+        # The spike genuinely oversubscribes admission: some crowd calls
+        # go through, most are refused, and nothing is silently lost.
+        assert crowd["refused"] > crowd["ok"] > 0
+        assert crowd["failed"] == 0
+        assert crowd["attempted"] == crowd["ok"] + crowd["refused"]
+        assert overload["admission"]["rejected"] == crowd["refused"]
+        # Admitted requests stay fast: no collapse behind the shed load.
+        assert crowd["p99_s"] is not None
+        assert crowd["p99_s"] <= 1.0
+        assert crowd["p50_s"] <= crowd["p95_s"] <= crowd["p99_s"]
+        # The governor saw the spike and fully de-escalated afterwards.
+        governor = overload["governor"]
+        assert governor["escalations"] >= 1
+        assert governor["max_level"] >= 1
+        assert governor["final_level"] == 0
+
+    def test_pacer_memory_is_bounded_and_drains(self):
+        scorecard = run_campaign("flashcrowd", 0, **SHORT)
+        pacer = scorecard["overload"]["pacer"]
+        assert pacer["queued"] > 0  # backlog actually formed
+        assert pacer["max_depth"] <= 16  # the configured queue bound
+        assert pacer["final_depth"] == 0  # and fully drained
+        # Shedding above the pacer never creates retransmit state, so the
+        # exactly-once invariant holds alongside the bounded queue.
+        assert scorecard["invariants"]["exactly_once_delivery"]
+        assert scorecard["invariants"]["no_timer_leaks"]
+
+    def test_degradation_honors_the_qos_floor(self):
+        scorecard = run_campaign("flashcrowd", 0, **SHORT)
+        milan = scorecard["overload"]["milan"]
+        assert milan["reconfigurations"] >= 1
+        assert milan["floor_violations"] == 0
+        # The lowest requirement ever applied stays at or above the
+        # weakest per-variable floor (0.4 in the mix's _QOS_FLOOR).
+        assert milan["min_requirement"] >= 0.4
+        assert milan["min_requirement"] < 1.0  # degradation really happened
+
+    def test_scorecard_is_byte_identical(self):
+        first = scorecard_bytes(run_campaign("flashcrowd", 4, **SHORT))
+        second = scorecard_bytes(run_campaign("flashcrowd", 4, **SHORT))
+        assert first == second
+
+    def test_other_mixes_have_no_overload_section(self):
+        scorecard = run_campaign("churn", 0, **SHORT)
+        assert scorecard["overload"] is None
+        assert scorecard["invariants"]["overload_protected"] is True
