@@ -96,6 +96,16 @@ def _selftest(seed: int) -> List[Dict[str, Any]]:
     return [{"seed": seed, "square": seed * seed}]
 
 
+def _workloads(seed: int) -> List[Dict[str, Any]]:
+    """Every registered workload scenario, one row each."""
+    from repro import workloads
+
+    return [
+        workloads.sweep_rows(name, seed)
+        for name in workloads.scenario_names()
+    ]
+
+
 SWEEPABLE: Dict[str, Callable[[int], List[Dict[str, Any]]]] = {
     "milan": _milan,
     "adaptation": _adaptation,
@@ -106,7 +116,24 @@ SWEEPABLE: Dict[str, Callable[[int], List[Dict[str, Any]]]] = {
     "chaos": _chaos,
     "simtest": _simtest,
     "selftest": _selftest,
+    "workloads": _workloads,
 }
+
+#: Registered workload scenarios are sweep axes too, addressed as
+#: ``workload:<archetype>:<traffic>`` — one axis per scenario, resolved
+#: dynamically so a newly registered archetype needs no sweep change.
+WORKLOAD_PREFIX = "workload:"
+
+
+def _resolve_sweepable(name: str) -> Callable[[int], List[Dict[str, Any]]]:
+    """Resolve a sweepable name, including dynamic workload-scenario axes."""
+    if name.startswith(WORKLOAD_PREFIX):
+        from repro import workloads
+
+        scenario = name[len(WORKLOAD_PREFIX):]
+        workloads.parse_scenario(scenario)  # raises on unknown scenarios
+        return lambda seed: [workloads.sweep_rows(scenario, seed)]
+    return SWEEPABLE[name]
 
 
 # --------------------------------------------------------------------------
@@ -165,7 +192,7 @@ def _run_job(job: SweepJob) -> SweepOutcome:
     name, seed = job
     started = time.perf_counter()
     try:
-        rows = SWEEPABLE[name](seed)
+        rows = _resolve_sweepable(name)(seed)
         error = None
     except Exception as exc:  # noqa: BLE001 - reported per-job, not fatal
         rows = []
@@ -193,10 +220,16 @@ def run_sweep(
     in ``seeds``) — the submission grid — regardless of worker completion
     order, so a sweep is reproducible and diffable across worker counts.
     """
-    unknown = sorted(set(experiments) - set(SWEEPABLE))
+    unknown = []
+    for name in experiments:
+        try:
+            _resolve_sweepable(name)
+        except Exception:  # noqa: BLE001 - unknown name or bad scenario
+            unknown.append(name)
     if unknown:
         raise ValueError(
-            f"unknown sweepable(s) {unknown}; available: {sorted(SWEEPABLE)}"
+            f"unknown sweepable(s) {sorted(set(unknown))}; available: "
+            f"{sorted(SWEEPABLE)} plus '{WORKLOAD_PREFIX}<archetype>:<traffic>'"
         )
     jobs: List[SweepJob] = [
         (name, seed) for name in experiments for seed in seeds

@@ -117,7 +117,15 @@ class Histogram:
 
     def quantile(self, q: float) -> float:
         """Nearest-rank quantile estimate (bucket upper edge, clamped to the
-        observed [min, max]); 0.0 on an empty histogram."""
+        observed [min, max]).
+
+        Degenerate histograms are well-defined, not errors — scorecards from
+        zero-traffic windows depend on this:
+
+        * empty (``count == 0``): every quantile is **0.0**;
+        * single sample: every quantile is exactly that sample (the clamp
+          to [min, max] collapses the bucket edge onto it).
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q!r}")
         if self.count == 0:
@@ -270,9 +278,14 @@ class SeriesPoint:
 
 
 def _percentile(sorted_values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile on an already-sorted sequence."""
+    """Nearest-rank percentile on an already-sorted sequence.
+
+    An empty sample yields **0.0** (matching :meth:`Histogram.quantile` and
+    :meth:`Summary.of`), so percentiles over zero-traffic windows are
+    well-defined values rather than exceptions.
+    """
     if not sorted_values:
-        raise ValueError("percentile of empty sample")
+        return 0.0
     rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
     return sorted_values[rank - 1]
 

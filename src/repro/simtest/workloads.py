@@ -1,0 +1,82 @@
+"""Simtest oracles over workload scenarios.
+
+Any registered scenario can run as a simtest world: the run records the
+archetype's operation history (tuple-space fan-out, replicated-ledger
+traffic), and :func:`check_scenario` replays each object's history through
+the Wing-Gong checker plus the archetype's own end-of-run consistency
+checks. Linearizability is compositional, so each object — each message
+tuple, the ledger — is checked separately.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.simtest.linearizability import (
+    LedgerModel,
+    Op,
+    RegisterModel,
+    SequentialModel,
+    TupleSpaceModel,
+    check_linearizable,
+)
+from repro.workloads.runner import ScenarioRun, parse_spec
+
+
+def _model_for(obj: Tuple[Any, ...], archetype) -> SequentialModel:
+    kind = obj[0]
+    if kind == "ts":
+        return TupleSpaceModel()
+    if kind == "ledger":
+        accounts = dict(getattr(archetype, "initial_accounts", {}))
+        return LedgerModel(accounts)
+    if kind == "so":
+        return RegisterModel()
+    raise ConfigurationError(f"no sequential model for history object {obj!r}")
+
+
+def check_scenario(name: str, seed: int = 0,
+                   **overrides: Any) -> Dict[str, Any]:
+    """Run ``name`` with history recording and check every oracle.
+
+    Returns ``{"scorecard", "objects", "operations", "violations"}`` where
+    ``violations`` collects linearizability counterexamples and the
+    archetype's consistency violations (empty means the run is clean).
+    Scenarios whose archetype records no history are rejected — a vacuous
+    oracle pass is worse than an error.
+    """
+    run = ScenarioRun(parse_spec(name, seed, record_history=True,
+                                 **overrides))
+    # The archetype is closed by run(); capture history/violations first
+    # via the scorecard path, then read the recorded history.
+    archetype = run.archetype
+    scorecard = run.run()
+    history = archetype.history()
+    if not history:
+        raise ConfigurationError(
+            f"scenario {name!r} recorded no history; it cannot run as a "
+            "simtest world"
+        )
+
+    by_object: Dict[Tuple[Any, ...], List[Op]] = {}
+    for obj, client, op, args, invoke, response, result in history:
+        by_object.setdefault(tuple(obj), []).append(
+            Op(client=str(client), op=str(op), args=tuple(args),
+               invoke=invoke, response=response, result=result)
+        )
+
+    violations: List[str] = list(
+        scorecard["archetype_detail"]["consistency_violations"]
+    )
+    for obj in sorted(by_object, key=repr):
+        verdict = check_linearizable(by_object[obj], _model_for(obj, archetype))
+        if verdict is not None:
+            violations.append(f"{obj}: {verdict}")
+
+    return {
+        "scorecard": scorecard,
+        "objects": len(by_object),
+        "operations": len(history),
+        "violations": violations,
+    }

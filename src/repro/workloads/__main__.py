@@ -1,0 +1,130 @@
+"""CLI for the workload scenario registry.
+
+* ``python -m repro.workloads list`` — registered archetypes, traffic
+  models, and the full scenario crossing;
+* ``python -m repro.workloads run patient_fleet:diurnal --seed 0`` — run
+  one scenario and print its scorecard;
+* ``python -m repro.workloads smoke --golden tests/golden`` — run every
+  registered scenario, validate schemas, compare against goldens (the CI
+  smoke step); exits non-zero on any violation or mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.workloads import (
+    ARCHETYPES,
+    TRAFFIC_MODELS,
+    canonical_bytes,
+    run_scenario,
+    scenario_names,
+    validate_scorecard,
+)
+
+
+def golden_path(directory: Path, name: str, seed: int) -> Path:
+    archetype, traffic = name.split(":")
+    return directory / f"{archetype}__{traffic}__seed{seed}.json"
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("archetypes:")
+    for name in sorted(ARCHETYPES):
+        info = ARCHETYPES[name]
+        print(f"  {name:<18} {info.description}")
+    print("traffic models:")
+    for name in sorted(TRAFFIC_MODELS):
+        info = TRAFFIC_MODELS[name]
+        print(f"  {name:<18} {info.description}")
+    names = scenario_names()
+    print(f"scenarios ({len(names)}):")
+    for name in names:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    overrides: Dict[str, Any] = {}
+    if args.horizon is not None:
+        overrides["horizon_s"] = args.horizon
+    if args.chaos is not None:
+        overrides["chaos_mix"] = args.chaos
+    card = run_scenario(args.scenario, seed=args.seed, **overrides)
+    text = json.dumps(card, sort_keys=True, indent=2)
+    if args.json is not None:
+        Path(args.json).write_text(text + "\n")
+    print(text)
+    return 0
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    golden_dir: Optional[Path] = (
+        Path(args.golden) if args.golden is not None else None
+    )
+    cards: List[Dict[str, Any]] = []
+    problems: List[str] = []
+    for name in scenario_names():
+        card = run_scenario(name, seed=args.seed)
+        cards.append(card)
+        for issue in validate_scorecard(card):
+            problems.append(f"{name}: schema: {issue}")
+        if golden_dir is not None:
+            path = golden_path(golden_dir, name, args.seed)
+            if not path.exists():
+                problems.append(f"{name}: missing golden {path}")
+            elif canonical_bytes(json.loads(path.read_text())) != \
+                    canonical_bytes(card):
+                problems.append(f"{name}: scorecard differs from {path}")
+        status = "ok" if card["ok"] else "VIOLATIONS"
+        print(f"{name:<32} arrivals={card['offered']['arrivals']:<5} "
+              f"goodput={card['goodput']['ok']:<5} "
+              f"p95={card['latency']['p95_s']:.4f}s {status}")
+    if args.json is not None:
+        Path(args.json).write_text(
+            json.dumps(cards, sort_keys=True, indent=2) + "\n"
+        )
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.workloads")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show registered archetypes/traffic/scenarios")
+
+    run_p = sub.add_parser("run", help="run one scenario, print its scorecard")
+    run_p.add_argument("scenario", help="scenario name, 'archetype:traffic'")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--horizon", type=float, default=None,
+                       help="override the scenario horizon (virtual seconds)")
+    run_p.add_argument("--chaos", default=None,
+                       help="compose a chaos fault mix (churn/partition/corrupt)")
+    run_p.add_argument("--json", default=None,
+                       help="also write the scorecard to this file")
+
+    smoke_p = sub.add_parser(
+        "smoke", help="run every scenario; validate schemas and goldens"
+    )
+    smoke_p.add_argument("--seed", type=int, default=0)
+    smoke_p.add_argument("--golden", default=None,
+                         help="golden directory to compare scorecards against")
+    smoke_p.add_argument("--json", default=None,
+                         help="write all scorecards to this file")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_smoke(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

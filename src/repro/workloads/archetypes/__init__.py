@@ -1,0 +1,7 @@
+"""Built-in application archetypes.
+
+Importing this package registers every built-in archetype; each module
+holds one archetype built on a different slice of the middleware stack.
+"""
+
+from repro.workloads.archetypes import api, chat, patient, telemetry  # noqa: F401

@@ -1,0 +1,121 @@
+"""The paper's Section 4 archetype: a patient-monitoring sensor fleet.
+
+A monitor on the star hub polls vital-sign sensors on battery-powered
+leaves over the full middleware stack (discovery adverts, RPC with
+retries). MiLAN decides which sensor answers for each variable, so the
+request mix follows the QoS-aware selection rather than a fixed table.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.milan import Milan
+from repro.core.policy import health_monitor_policy
+from repro.core.sensors import SensorInfo
+from repro.netsim import topology
+from repro.netsim.energy import Battery
+from repro.transport.base import Address
+from repro.transport.simnet import SimFabric
+from repro.middleware import MiddlewareNode
+from repro.workloads.registry import Archetype, archetype
+
+#: The Section 3.1 health-scenario sensors, one per leaf.
+_SENSORS = (
+    SensorInfo("bp-cuff", {"blood_pressure": 0.95}, active_power_w=0.02),
+    SensorInfo("ecg", {"heart_rate": 0.95, "blood_pressure": 0.3},
+               active_power_w=0.03),
+    SensorInfo("ppg", {"heart_rate": 0.8, "oxygen_saturation": 0.9},
+               active_power_w=0.01),
+    SensorInfo("spo2", {"oxygen_saturation": 0.85}, active_power_w=0.012),
+)
+
+#: The vitals the monitor cycles through, one per request.
+_VITALS = ("blood_pressure", "heart_rate", "oxygen_saturation")
+
+
+@archetype(
+    "patient_fleet",
+    rate_rps=4.0,
+    slo_target_s=0.3,
+    description="Section 4 patient monitor polling MiLAN-selected "
+    "vital-sign sensors over discovery + RPC",
+)
+class PatientFleet(Archetype):
+    def __init__(self, seed: int):
+        super().__init__(seed)
+        self.network = topology.star(
+            len(_SENSORS), seed=seed,
+            battery_factory=lambda _nid: Battery(5.0),
+        )
+        self.fabric = SimFabric(self.network)
+        self.nodes: Dict[str, MiddlewareNode] = {
+            node_id: MiddlewareNode(self.fabric, node_id)
+            for node_id in self.network.node_ids()
+        }
+        self.monitor = self.nodes["hub"]
+
+        self.host_of: Dict[str, str] = {}
+        for i, sensor in enumerate(_SENSORS):
+            host = f"leaf{i}"
+            self.host_of[sensor.sensor_id] = host
+            self.nodes[host].provide(
+                sensor.sensor_id, "vital-sensor",
+                {"read": lambda variable, sid=sensor.sensor_id:
+                    f"{sid}:{variable}"},
+            )
+
+        # MiLAN selects the sensor set; the monitor polls only selected
+        # sensors, querying the most reliable one for each vital.
+        self.milan = Milan(health_monitor_policy())
+        for sensor in _SENSORS:
+            self.milan.add_sensor(sensor)
+        self.reads_by_sensor: Dict[str, int] = {}
+
+    def _sensor_for(self, variable: str) -> SensorInfo:
+        active = self.milan.active_sensor_ids()
+        candidates = [
+            s for s in _SENSORS
+            if variable in s.reliabilities and (not active or s.sensor_id in active)
+        ] or [s for s in _SENSORS if variable in s.reliabilities]
+        return max(candidates,
+                   key=lambda s: (s.reliabilities[variable], s.sensor_id))
+
+    def issue(self, index: int, size: int,
+              done: Callable[[str], None]) -> None:
+        variable = _VITALS[index % len(_VITALS)]
+        sensor = self._sensor_for(variable)
+        host = self.host_of[sensor.sensor_id]
+        self.reads_by_sensor[sensor.sensor_id] = (
+            self.reads_by_sensor.get(sensor.sensor_id, 0) + 1
+        )
+        promise = self.monitor.rpc.call(
+            Address(host, "svc"), "read", {"variable": variable},
+            timeout_s=1.0, retries=2,
+        )
+        expected = f"{sensor.sensor_id}:{variable}"
+        promise.on_settle(
+            lambda settled: done(
+                "ok" if settled.fulfilled and settled.result() == expected
+                else "failed"
+            )
+        )
+
+    def fault_targets(self) -> Sequence[str]:
+        # ecg + spo2 hosts: MiLAN has fallback sensors for their vitals.
+        return ("leaf1", "leaf3")
+
+    def partition_groups(self) -> Optional[List[List[str]]]:
+        return [["leaf1"], ["leaf3"]]
+
+    def detail(self) -> Dict[str, object]:
+        return {
+            "milan_satisfied": self.milan.application_satisfied(),
+            "active_sensors": sorted(self.milan.active_sensor_ids()),
+            "reconfigurations": self.milan.reconfigurations,
+            "reads_by_sensor": dict(sorted(self.reads_by_sensor.items())),
+        }
+
+    def close(self) -> None:
+        for node in self.nodes.values():
+            node.close()

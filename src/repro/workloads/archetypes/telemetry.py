@@ -1,0 +1,176 @@
+"""Telemetry ingestion into the replicated ledger.
+
+A gateway streams per-shard telemetry totals into a three-member replica
+group as idempotent ledger transfers (one account per shard, drawn from an
+``ingress`` pool so conservation is checkable on every replica). Periodic
+balance reads double as linearizable-read probes for the simtest oracles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.netsim import topology
+from repro.netsim.energy import Battery
+from repro.replication.client import GroupClient
+from repro.replication.replica import ReplicationParams, deploy_group
+from repro.replication.services import LedgerMachine, ReplicatedLedger
+from repro.transport.base import Address
+from repro.transport.simnet import SimFabric
+from repro.workloads.registry import Archetype, archetype
+
+_PORT = "rled"
+_MEMBERS = ("n0_1", "n1_0", "n1_1")
+_SHARDS = ("s0", "s1", "s2", "s3")
+_INGRESS_POOL = 1_000_000
+
+#: Tight timers: the group lives on a well-connected 2x2 grid, and chaos
+#: mixes need failover to complete inside the scenario's fault window.
+_PARAMS = ReplicationParams(
+    hb_interval_s=0.5,
+    hb_timeout_multiplier=3.0,
+    elect_timeout_s=0.8,
+    sync_timeout_s=0.8,
+    coord_timeout_s=1.6,
+    beacon_interval_s=0.5,
+    write_timeout_s=4.0,
+)
+
+
+@archetype(
+    "telemetry_ledger",
+    rate_rps=6.0,
+    slo_target_s=0.4,
+    description="gateway ingesting telemetry as idempotent transfers into "
+    "a 3-replica ledger group",
+)
+class TelemetryLedger(Archetype):
+    def __init__(self, seed: int):
+        super().__init__(seed)
+        self.network = topology.grid(
+            2, 2, spacing=60.0, seed=seed,
+            battery_factory=lambda _nid: Battery(50.0),
+        )
+        self.fabric = SimFabric(self.network)
+        self.initial_accounts: Dict[str, int] = {
+            "ingress": _INGRESS_POOL, **{s: 0 for s in _SHARDS}
+        }
+        self.replicas = deploy_group(
+            lambda node_id, port: self.fabric.endpoint(node_id, port),
+            _MEMBERS,
+            lambda: LedgerMachine(dict(self.initial_accounts)),
+            port=_PORT, params=_PARAMS, group="tele",
+        )
+        self.client = GroupClient(
+            self.fabric.endpoint("n0_0", f"{_PORT}.gw"),
+            [Address(m, _PORT) for m in _MEMBERS],
+            request_timeout_s=1.0, max_attempts=8,
+        )
+        self.ledger = ReplicatedLedger(self.client)
+        self.acked: Dict[str, int] = {}
+        self._history: List[Tuple[Any, ...]] = []
+        # Balance probes run on a fixed cadence in every mode (history
+        # recording must not change traffic); they start once the runner
+        # drives the simulator.
+        self._probe_index = 0
+        self.sim.schedule_at(1.0, self._probe)
+
+    def _probe(self) -> None:
+        shard = _SHARDS[self._probe_index % len(_SHARDS)]
+        self._probe_index += 1
+        promise = self.ledger.balance(shard)
+        self._record(("ledger",), "gateway", "balance", (shard,), promise)
+        self.sim.schedule_at(self.sim.now() + 2.0, self._probe)
+
+    def _record(self, obj: Tuple[Any, ...], client: str, op: str,
+                args: Tuple[Any, ...], promise) -> None:
+        if not self.record_history:
+            return
+        invoked = self.sim.now()
+        slot = len(self._history)
+        self._history.append((obj, client, op, args, invoked, None, None))
+        promise.on_settle(
+            lambda settled: self._history.__setitem__(
+                slot,
+                (obj, client, op, args, invoked, self.sim.now(),
+                 settled.result() if settled.fulfilled else None),
+            )
+        )
+
+    def issue(self, index: int, size: int,
+              done: Callable[[str], None]) -> None:
+        txid = f"t{index}"
+        shard = _SHARDS[index % len(_SHARDS)]
+        amount = 1 + size % 16
+        promise = self.ledger.transfer(txid, "ingress", shard, amount)
+        self._record(("ledger",), "gateway", "transfer",
+                     (txid, "ingress", shard, amount), promise)
+
+        def settle(settled) -> None:
+            if settled.fulfilled and settled.result() is True:
+                self.acked[txid] = amount
+                done("ok")
+            else:
+                done("failed")
+
+        promise.on_settle(settle)
+
+    def fault_targets(self) -> Sequence[str]:
+        # Backups only: the group keeps its 2/3 quorum through one crash.
+        return ("n0_1", "n1_0")
+
+    def partition_groups(self) -> Optional[List[List[str]]]:
+        return [["n0_1"], ["n1_0"]]
+
+    def history(self) -> List[Tuple[Any, ...]]:
+        return list(self._history)
+
+    def consistency_violations(self) -> List[str]:
+        violations: List[str] = []
+        total = sum(self.initial_accounts.values())
+        head = self.replicas[_MEMBERS[0]]
+        for member in _MEMBERS:
+            machine = self.replicas[member].machine
+            if sum(machine.balances.values()) != total:
+                violations.append(
+                    f"conservation broken on {member}: "
+                    f"total={sum(machine.balances.values())}"
+                )
+            missing = set(self.acked) - machine.applied_txids
+            if missing:
+                violations.append(
+                    f"{len(missing)} acked txids missing on {member}"
+                )
+        for member in _MEMBERS[1:]:
+            replica = self.replicas[member]
+            if (replica.applied_index != head.applied_index
+                    or replica.machine.snapshot() != head.machine.snapshot()):
+                violations.append(
+                    f"{member} diverged from {_MEMBERS[0]} "
+                    f"({replica.applied_index} != {head.applied_index})"
+                )
+        return violations
+
+    def detail(self) -> Dict[str, object]:
+        primaries = sorted(
+            m for m in _MEMBERS if self.replicas[m].role == "primary"
+        )
+        return {
+            "primary": primaries[0] if len(primaries) == 1 else None,
+            "terms": {m: self.replicas[m].term for m in _MEMBERS},
+            "applied_index": {
+                m: self.replicas[m].applied_index for m in _MEMBERS
+            },
+            "acked": len(self.acked),
+            "shard_totals": dict(
+                sorted(
+                    (s, self.replicas[_MEMBERS[0]].machine.balances.get(s, 0))
+                    for s in _SHARDS
+                )
+            ),
+        }
+
+    def close(self) -> None:
+        for replica in self.replicas.values():
+            replica.close()
+        self.client.close()

@@ -39,6 +39,22 @@ _REQUIRED_MARKERS = {
 }
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json workload scorecards instead of "
+        "comparing against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    """True when the run should rewrite golden scorecards, not compare."""
+    return request.config.getoption("--update-golden")
+
+
 def pytest_collection_modifyitems(config, items):
     unmarked = []
     for item in items:

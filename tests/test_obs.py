@@ -264,3 +264,39 @@ def test_loop_profiler_attributes_callbacks():
     sim.schedule(0.1, tick)
     sim.run()
     assert profiler.calls == 5  # detached: no further attribution
+
+
+# ----------------------------------------------- degenerate distributions
+
+
+def test_empty_histogram_quantiles_are_zero():
+    """A histogram with no samples answers 0.0, never raises — scorecards
+    from zero-traffic windows read percentiles unconditionally."""
+    hist = MetricsRegistry().histogram("latency")
+    for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+        assert hist.quantile(q) == 0.0
+    assert hist.summary() == {"count": 0, "mean": 0.0, "min": 0.0,
+                              "max": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+def test_single_sample_histogram_quantiles_are_that_sample():
+    hist = MetricsRegistry().histogram("latency")
+    hist.observe(0.0137)
+    for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+        assert hist.quantile(q) == pytest.approx(0.0137)
+
+
+def test_module_percentile_of_empty_sample_is_zero():
+    from repro.obs.metrics import Summary, _percentile
+
+    assert _percentile([], 50) == 0.0
+    assert _percentile([], 99) == 0.0
+    summary = Summary.of([])
+    assert summary.count == 0
+    assert summary.p99 == 0.0
+
+
+def test_histogram_quantile_still_rejects_out_of_range_q():
+    hist = MetricsRegistry().histogram("latency")
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
